@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build test vet fmt-check fmt
+
+all: build vet fmt-check test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .

@@ -1,0 +1,117 @@
+// Command daemon wires the operation engine to the v1 HTTP API and
+// runs until interrupted, then drains in-flight operations before
+// exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"opdaemon/internal/api"
+	"opdaemon/internal/core"
+	"opdaemon/internal/engine"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8712", "listen address")
+		workers      = flag.Int("workers", 8, "concurrent operation workers")
+		queueDepth   = flag.Int("queue-depth", 1024, "max queued operations")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain operations on shutdown")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queueDepth, *drainTimeout); err != nil {
+		log.Fatalf("daemon: %v", err)
+	}
+}
+
+func run(addr string, workers, queueDepth int, drainTimeout time.Duration) error {
+	eng := engine.New(engine.Config{Workers: workers, QueueDepth: queueDepth})
+	registerBuiltins(eng)
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           api.New(eng),
+		ReadHeaderTimeout: 5 * time.Second,
+		// Bound request reads, response writes, and idle keep-alives
+		// so a client trickling bytes in either direction can't hold
+		// a goroutine forever.
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("daemon: listening on http://%s (workers=%d queue=%d)", addr, workers, queueDepth)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serving: %w", err)
+	case <-ctx.Done():
+		// Restore default signal disposition so a second SIGINT or
+		// SIGTERM during the drain kills the process immediately.
+		stop()
+	}
+
+	// HTTP shutdown and engine drain get separate budgets so a
+	// stalled client connection cannot starve operation draining.
+	log.Printf("daemon: shutting down, draining for up to %s", drainTimeout)
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancelHTTP()
+	if err := srv.Shutdown(httpCtx); err != nil {
+		log.Printf("daemon: http shutdown: %v", err)
+	}
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancelDrain()
+	if err := eng.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("draining engine: %w", err)
+	}
+	log.Print("daemon: drained cleanly")
+	return nil
+}
+
+// registerBuiltins installs the demo operation kinds the daemon ships
+// with; real workloads register their own kinds here as the system
+// grows.
+func registerBuiltins(eng *engine.Engine) {
+	eng.Register("noop", func(context.Context, *core.Operation) (any, error) {
+		return map[string]any{"ok": true}, nil
+	})
+	eng.Register("echo", func(_ context.Context, op *core.Operation) (any, error) {
+		return op.Params, nil
+	})
+	eng.Register("sleep", func(ctx context.Context, op *core.Operation) (any, error) {
+		ms, ok := op.Params["ms"].(float64)
+		if !ok || ms < 0 || ms > 60_000 {
+			return nil, &core.InvalidError{Field: "ms", Reason: "must be a number between 0 and 60000"}
+		}
+		select {
+		case <-time.After(time.Duration(ms) * time.Millisecond):
+			return map[string]any{"slept_ms": ms}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	eng.Register("fail", func(context.Context, *core.Operation) (any, error) {
+		return nil, errors.New("operation failed on request")
+	})
+}

@@ -1,0 +1,3 @@
+module opdaemon
+
+go 1.24

@@ -1,0 +1,143 @@
+// Package api exposes the operation engine over HTTP with snapd-style
+// JSON envelopes. Every response is one of three shapes — sync, async,
+// or error — documented in docs/api.md.
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+
+	"opdaemon/internal/core"
+	"opdaemon/internal/engine"
+)
+
+// maxBodyBytes bounds request bodies so a misbehaving client cannot
+// exhaust memory.
+const maxBodyBytes = 1 << 20
+
+// Server routes v1 API requests to an engine.
+type Server struct {
+	engine *engine.Engine
+	mux    *http.ServeMux
+}
+
+// New builds the API server around an engine.
+func New(e *engine.Engine) *Server {
+	s := &Server{engine: e, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/health", s.health)
+	s.mux.HandleFunc("POST /v1/operations", s.submit)
+	s.mux.HandleFunc("GET /v1/operations", s.list)
+	s.mux.HandleFunc("GET /v1/operations/{id}", s.get)
+	// Method-less fallbacks so a wrong verb on a known path yields a
+	// 405 envelope instead of falling through to the 404 handler.
+	s.mux.HandleFunc("/v1/health", methodNotAllowed("GET"))
+	s.mux.HandleFunc("/v1/operations", methodNotAllowed("GET, POST"))
+	s.mux.HandleFunc("/v1/operations/{id}", methodNotAllowed("GET"))
+	s.mux.HandleFunc("/", s.notFound)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
+	writeSync(w, http.StatusOK, map[string]any{
+		"healthy": true,
+		"kinds":   s.engine.Kinds(),
+	})
+}
+
+// submitRequest is the body of POST /v1/operations.
+type submitRequest struct {
+	Kind   string         `json:"kind"`
+	Params map[string]any `json:"params"`
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading request body")
+		return
+	}
+	var req submitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed JSON body: %v", err))
+		return
+	}
+
+	op, err := s.engine.Submit(req.Kind, req.Params)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeAsync(w, resourcePath(op), op)
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	op, err := s.engine.Get(r.PathValue("id"))
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeSync(w, http.StatusOK, op)
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	status := core.Status(r.URL.Query().Get("status"))
+	if status != "" && !status.Valid() {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown status filter %q", status))
+		return
+	}
+	writeSync(w, http.StatusOK, s.engine.List(status))
+}
+
+// resourcePath is the poll URL for an operation; it lives here, next
+// to the mux patterns it must stay in sync with.
+func resourcePath(op *core.Operation) string {
+	return "/v1/operations/" + op.ID
+}
+
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed on %s", r.Method, r.URL.Path))
+	}
+}
+
+func (s *Server) notFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, fmt.Sprintf("no such endpoint: %s %s", r.Method, r.URL.Path))
+}
+
+// writeEngineError maps engine and core errors onto HTTP codes.
+func writeEngineError(w http.ResponseWriter, err error) {
+	var inv *core.InvalidError
+	switch {
+	case errors.As(err, &inv):
+		writeError(w, http.StatusBadRequest, inv.Error())
+	case errors.Is(err, core.ErrUnknownKind):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, core.ErrNotFound):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, core.ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, core.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	default:
+		// Likely a store failure once pluggable backends exist; the
+		// client gets an opaque 500, so the log is the only trace.
+		log.Printf("api: internal error: %v", err)
+		writeError(w, http.StatusInternalServerError, "internal error")
+	}
+}

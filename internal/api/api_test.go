@@ -1,0 +1,243 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"opdaemon/internal/core"
+	"opdaemon/internal/engine"
+)
+
+func newTestServer(t *testing.T) (*Server, *engine.Engine) {
+	t.Helper()
+	e := engine.New(engine.Config{Workers: 2})
+	t.Cleanup(func() { e.Shutdown(context.Background()) })
+	e.Register("echo", func(_ context.Context, op *core.Operation) (any, error) {
+		return op.Params, nil
+	})
+	return New(e), e
+}
+
+// waitTerminal polls the engine until the operation settles; tests
+// that exercise the HTTP poll loop itself (TestSubmitThenPollReachesDone)
+// poll over HTTP instead.
+func waitTerminal(t *testing.T, e *engine.Engine, id string) *core.Operation {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		op, err := e.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if op.Status.Terminal() {
+			return op
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("op %s never finished (status %s)", id, op.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func doJSON(t *testing.T, s *Server, method, path, body string) (*httptest.ResponseRecorder, Response) {
+	t.Helper()
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, path, nil)
+	} else {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("%s %s: Content-Type = %q, want application/json", method, path, ct)
+	}
+	var resp Response
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("%s %s: decoding body %q: %v", method, path, w.Body.String(), err)
+	}
+	return w, resp
+}
+
+// checkEnvelope asserts the invariants shared by every reply: the
+// embedded status_code matches the HTTP code and the status text
+// matches the code.
+func checkEnvelope(t *testing.T, w *httptest.ResponseRecorder, resp Response, wantType string, wantCode int) {
+	t.Helper()
+	if w.Code != wantCode {
+		t.Errorf("HTTP code = %d, want %d", w.Code, wantCode)
+	}
+	if resp.Type != wantType {
+		t.Errorf("envelope type = %q, want %q", resp.Type, wantType)
+	}
+	if resp.StatusCode != wantCode {
+		t.Errorf("envelope status_code = %d, want %d", resp.StatusCode, wantCode)
+	}
+	if resp.Status != http.StatusText(wantCode) {
+		t.Errorf("envelope status = %q, want %q", resp.Status, http.StatusText(wantCode))
+	}
+}
+
+func TestHealth(t *testing.T) {
+	s, _ := newTestServer(t)
+	w, resp := doJSON(t, s, "GET", "/v1/health", "")
+	checkEnvelope(t, w, resp, "sync", http.StatusOK)
+	result, ok := resp.Result.(map[string]any)
+	if !ok || result["healthy"] != true {
+		t.Errorf("health result = %v, want healthy=true", resp.Result)
+	}
+}
+
+func TestSubmitReturnsAsyncEnvelope(t *testing.T) {
+	s, _ := newTestServer(t)
+	w, resp := doJSON(t, s, "POST", "/v1/operations", `{"kind":"echo","params":{"x":1}}`)
+	checkEnvelope(t, w, resp, "async", http.StatusAccepted)
+
+	op, ok := resp.Result.(map[string]any)
+	if !ok {
+		t.Fatalf("async result = %T, want operation object", resp.Result)
+	}
+	id, _ := op["id"].(string)
+	if id == "" {
+		t.Fatal("async result has no operation id")
+	}
+	if loc := w.Header().Get("Location"); loc != "/v1/operations/"+id {
+		t.Errorf("Location = %q, want /v1/operations/%s", loc, id)
+	}
+	if got := op["status"]; got != string(core.StatusQueued) {
+		t.Errorf("submitted status = %v, want queued", got)
+	}
+}
+
+func TestSubmitThenPollReachesDone(t *testing.T) {
+	s, _ := newTestServer(t)
+	_, resp := doJSON(t, s, "POST", "/v1/operations", `{"kind":"echo","params":{"msg":"hi"}}`)
+	id := resp.Result.(map[string]any)["id"].(string)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		w, poll := doJSON(t, s, "GET", "/v1/operations/"+id, "")
+		checkEnvelope(t, w, poll, "sync", http.StatusOK)
+		op := poll.Result.(map[string]any)
+		if status := core.Status(op["status"].(string)); status.Terminal() {
+			if status != core.StatusDone {
+				t.Fatalf("operation ended %s: %v", status, op["error"])
+			}
+			result, _ := op["result"].(map[string]any)
+			if result["msg"] != "hi" {
+				t.Errorf("result = %v, want params echoed back", op["result"])
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("operation %s never reached a terminal status", id)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestErrorEnvelopes(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		method   string
+		path     string
+		body     string
+		wantCode int
+	}{
+		{"malformed json", "POST", "/v1/operations", `{"kind":`, http.StatusBadRequest},
+		{"unknown kind", "POST", "/v1/operations", `{"kind":"nope"}`, http.StatusBadRequest},
+		{"empty kind", "POST", "/v1/operations", `{}`, http.StatusBadRequest},
+		{"unknown operation id", "GET", "/v1/operations/deadbeef", "", http.StatusNotFound},
+		{"unknown endpoint", "GET", "/v2/everything", "", http.StatusNotFound},
+		{"bad status filter", "GET", "/v1/operations?status=sideways", "", http.StatusBadRequest},
+		{"wrong method", "DELETE", "/v1/operations", "", http.StatusMethodNotAllowed},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, _ := newTestServer(t)
+			w, resp := doJSON(t, s, tc.method, tc.path, tc.body)
+			checkEnvelope(t, w, resp, "error", tc.wantCode)
+			result, ok := resp.Result.(map[string]any)
+			if !ok || result["message"] == "" {
+				t.Errorf("error result = %v, want non-empty message", resp.Result)
+			}
+		})
+	}
+}
+
+func TestWrongMethodSetsAllowHeader(t *testing.T) {
+	s, _ := newTestServer(t)
+	w, resp := doJSON(t, s, "DELETE", "/v1/operations", "")
+	checkEnvelope(t, w, resp, "error", http.StatusMethodNotAllowed)
+	if got := w.Header().Get("Allow"); got != "GET, POST" {
+		t.Errorf("Allow header = %q, want %q", got, "GET, POST")
+	}
+}
+
+func TestUnserializableResultFailsOnlyThatOperation(t *testing.T) {
+	s, e := newTestServer(t)
+	e.Register("chan", func(context.Context, *core.Operation) (any, error) {
+		return make(chan int), nil
+	})
+	_, sub := doJSON(t, s, "POST", "/v1/operations", `{"kind":"chan"}`)
+	id := sub.Result.(map[string]any)["id"].(string)
+	op := waitTerminal(t, e, id)
+	if op.Status != core.StatusFailed {
+		t.Fatalf("op status = %s, want failed", op.Status)
+	}
+	if !strings.Contains(op.Error, "not serializable") {
+		t.Errorf("op error = %q, want serialization failure", op.Error)
+	}
+	// The poisoned result must not break the list endpoint.
+	w, resp := doJSON(t, s, "GET", "/v1/operations", "")
+	checkEnvelope(t, w, resp, "sync", http.StatusOK)
+}
+
+func TestListFilters(t *testing.T) {
+	s, e := newTestServer(t)
+	e.Register("fail", func(context.Context, *core.Operation) (any, error) {
+		return nil, core.ErrQueueFull // arbitrary error payload
+	})
+	_, okResp := doJSON(t, s, "POST", "/v1/operations", `{"kind":"echo"}`)
+	_, badResp := doJSON(t, s, "POST", "/v1/operations", `{"kind":"fail"}`)
+	okID := okResp.Result.(map[string]any)["id"].(string)
+	badID := badResp.Result.(map[string]any)["id"].(string)
+
+	waitTerminal(t, e, okID)
+	waitTerminal(t, e, badID)
+
+	w, resp := doJSON(t, s, "GET", "/v1/operations", "")
+	checkEnvelope(t, w, resp, "sync", http.StatusOK)
+	if ops := resp.Result.([]any); len(ops) != 2 {
+		t.Errorf("unfiltered list has %d ops, want 2", len(ops))
+	}
+
+	_, failed := doJSON(t, s, "GET", "/v1/operations?status=failed", "")
+	ops, _ := failed.Result.([]any)
+	if len(ops) != 1 {
+		t.Fatalf("failed list has %d ops, want 1", len(ops))
+	}
+	if got := ops[0].(map[string]any)["id"]; got != badID {
+		t.Errorf("failed list contains %v, want %s", got, badID)
+	}
+}
+
+func TestSubmitAfterShutdownIs503(t *testing.T) {
+	s, e := newTestServer(t)
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	w, resp := doJSON(t, s, "POST", "/v1/operations", `{"kind":"echo"}`)
+	checkEnvelope(t, w, resp, "error", http.StatusServiceUnavailable)
+}
+
+func TestSubmitBodyTooLarge(t *testing.T) {
+	s, _ := newTestServer(t)
+	big := `{"kind":"echo","params":{"blob":"` + strings.Repeat("a", maxBodyBytes) + `"}}`
+	w, resp := doJSON(t, s, "POST", "/v1/operations", big)
+	checkEnvelope(t, w, resp, "error", http.StatusRequestEntityTooLarge)
+}

@@ -1,0 +1,87 @@
+package api
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+)
+
+// Response is the JSON envelope wrapping every API reply, following
+// the snapd REST convention: type is "sync" for immediate results,
+// "async" for accepted background operations, and "error" for
+// failures. Status is the HTTP status text and StatusCode mirrors the
+// HTTP code so clients can log the body alone.
+type Response struct {
+	Type       string `json:"type"`
+	Status     string `json:"status"`
+	StatusCode int    `json:"status_code"`
+	Result     any    `json:"result"`
+}
+
+const (
+	typeSync  = "sync"
+	typeAsync = "async"
+	typeError = "error"
+)
+
+// writeJSON marshals the envelope and replies with it plus any extra
+// headers. Headers are only applied after a successful marshal so the
+// fallback error response doesn't carry headers describing the reply
+// that failed (e.g. a Location for an async result).
+func writeJSON(w http.ResponseWriter, code int, resp *Response, headers map[string]string) {
+	body, err := json.Marshal(resp)
+	if err != nil {
+		// A handler produced a result json cannot represent; keep
+		// the envelope contract with a 500 error instead of sending
+		// a success header with an empty body. Error envelopes only
+		// contain strings, so this cannot recurse.
+		log.Printf("api: encoding %s response: %v", resp.Type, err)
+		writeError(w, http.StatusInternalServerError, "response not serializable")
+		return
+	}
+	for k, v := range headers {
+		w.Header().Set(k, v)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if _, err := w.Write(append(body, '\n')); err != nil {
+		log.Printf("api: writing response: %v", err)
+	}
+}
+
+// writeSync replies with a 200-style synchronous result envelope.
+func writeSync(w http.ResponseWriter, code int, result any) {
+	writeJSON(w, code, &Response{
+		Type:       typeSync,
+		Status:     http.StatusText(code),
+		StatusCode: code,
+		Result:     result,
+	}, nil)
+}
+
+// writeAsync replies 202 Accepted with the operation snapshot and sets
+// the Location header to the operation's poll URL.
+func writeAsync(w http.ResponseWriter, location string, result any) {
+	writeJSON(w, http.StatusAccepted, &Response{
+		Type:       typeAsync,
+		Status:     http.StatusText(http.StatusAccepted),
+		StatusCode: http.StatusAccepted,
+		Result:     result,
+	}, map[string]string{"Location": location})
+}
+
+// errorResult is the result payload of an error envelope.
+type errorResult struct {
+	Message string `json:"message"`
+}
+
+// writeError replies with an error envelope carrying a client-safe
+// message.
+func writeError(w http.ResponseWriter, code int, message string) {
+	writeJSON(w, code, &Response{
+		Type:       typeError,
+		Status:     http.StatusText(code),
+		StatusCode: code,
+		Result:     errorResult{Message: message},
+	}, nil)
+}

@@ -1,1 +1,121 @@
+// Package core defines the domain model shared by every layer of the
+// daemon: operations, their status lifecycle, and the typed errors that
+// cross subsystem boundaries.
+//
+// An Operation moves through the lifecycle
+//
+//	queued → running → done | failed
+//
+// and never transitions out of a terminal state. The engine owns the
+// transitions; the API layer only reads snapshots.
 package core
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Status is the lifecycle state of an Operation.
+type Status string
+
+const (
+	// StatusQueued means the operation is accepted but not yet picked
+	// up by a worker.
+	StatusQueued Status = "queued"
+	// StatusRunning means a worker is executing the operation.
+	StatusRunning Status = "running"
+	// StatusDone means the operation finished successfully.
+	StatusDone Status = "done"
+	// StatusFailed means the operation finished with an error.
+	StatusFailed Status = "failed"
+)
+
+// Terminal reports whether the status is a final state.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed
+}
+
+// Valid reports whether s is one of the known lifecycle states.
+func (s Status) Valid() bool {
+	switch s {
+	case StatusQueued, StatusRunning, StatusDone, StatusFailed:
+		return true
+	}
+	return false
+}
+
+// CanTransition reports whether a move from s to next is a legal
+// lifecycle step.
+func (s Status) CanTransition(next Status) bool {
+	switch s {
+	case StatusQueued:
+		return next == StatusRunning || next == StatusFailed
+	case StatusRunning:
+		return next == StatusDone || next == StatusFailed
+	}
+	return false
+}
+
+// Operation is a unit of background work tracked by the engine.
+//
+// Result holds the handler's return value pre-marshalled to JSON: the
+// engine serializes it when the operation completes, so a handler
+// returning an unrepresentable value fails that one operation instead
+// of poisoning every API response that would embed it.
+type Operation struct {
+	ID        string          `json:"id"`
+	Kind      string          `json:"kind"`
+	Params    map[string]any  `json:"params,omitempty"`
+	Status    Status          `json:"status"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	CreatedAt time.Time       `json:"created_at"`
+	UpdatedAt time.Time       `json:"updated_at"`
+}
+
+// Clone returns a shallow copy of the operation safe to hand to another
+// goroutine. Params and Result are shared; callers must treat them as
+// read-only.
+func (op *Operation) Clone() *Operation {
+	c := *op
+	return &c
+}
+
+// Sentinel errors surfaced across subsystem boundaries. The API layer
+// maps these onto HTTP status codes with errors.Is.
+var (
+	// ErrNotFound means no operation with the requested ID exists.
+	ErrNotFound = errors.New("operation not found")
+	// ErrUnknownKind means no handler is registered for the kind.
+	ErrUnknownKind = errors.New("unknown operation kind")
+	// ErrShuttingDown means the engine no longer accepts work.
+	ErrShuttingDown = errors.New("engine is shutting down")
+	// ErrQueueFull means the submission queue is at capacity.
+	ErrQueueFull = errors.New("operation queue is full")
+)
+
+// InvalidError describes a request that is malformed before it ever
+// reaches a handler (bad kind, bad params).
+type InvalidError struct {
+	Field  string
+	Reason string
+}
+
+func (e *InvalidError) Error() string {
+	return fmt.Sprintf("invalid %s: %s", e.Field, e.Reason)
+}
+
+// NewID returns a 128-bit random hex identifier for an operation.
+func NewID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure means the platform RNG is broken;
+		// nothing sensible can continue.
+		panic("core: reading random id: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStatusTerminal(t *testing.T) {
+	for _, tc := range []struct {
+		status   Status
+		terminal bool
+	}{
+		{StatusQueued, false},
+		{StatusRunning, false},
+		{StatusDone, true},
+		{StatusFailed, true},
+	} {
+		if got := tc.status.Terminal(); got != tc.terminal {
+			t.Errorf("%s.Terminal() = %v, want %v", tc.status, got, tc.terminal)
+		}
+	}
+}
+
+func TestStatusValid(t *testing.T) {
+	for _, s := range []Status{StatusQueued, StatusRunning, StatusDone, StatusFailed} {
+		if !s.Valid() {
+			t.Errorf("%s.Valid() = false, want true", s)
+		}
+	}
+	if Status("bogus").Valid() {
+		t.Error(`Status("bogus").Valid() = true, want false`)
+	}
+}
+
+func TestStatusCanTransition(t *testing.T) {
+	allowed := map[[2]Status]bool{
+		{StatusQueued, StatusRunning}: true,
+		{StatusQueued, StatusFailed}:  true,
+		{StatusRunning, StatusDone}:   true,
+		{StatusRunning, StatusFailed}: true,
+	}
+	all := []Status{StatusQueued, StatusRunning, StatusDone, StatusFailed}
+	for _, from := range all {
+		for _, to := range all {
+			want := allowed[[2]Status{from, to}]
+			if got := from.CanTransition(to); got != want {
+				t.Errorf("%s.CanTransition(%s) = %v, want %v", from, to, got, want)
+			}
+		}
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if len(id) != 32 {
+			t.Fatalf("NewID() length = %d, want 32", len(id))
+		}
+		if seen[id] {
+			t.Fatalf("NewID() returned duplicate %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestOperationClone(t *testing.T) {
+	op := &Operation{ID: "x", Status: StatusQueued}
+	c := op.Clone()
+	c.Status = StatusDone
+	if op.Status != StatusQueued {
+		t.Error("mutating clone changed original")
+	}
+}
+
+func TestInvalidError(t *testing.T) {
+	err := error(&InvalidError{Field: "kind", Reason: "must not be empty"})
+	if got, want := err.Error(), "invalid kind: must not be empty"; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	var inv *InvalidError
+	if !errors.As(err, &inv) {
+		t.Error("errors.As failed to match *InvalidError")
+	}
+}

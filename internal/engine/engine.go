@@ -1,0 +1,300 @@
+// Package engine schedules and executes operations on a bounded worker
+// pool, recording their lifecycle in a Store. It is the only writer of
+// operation state; the API layer reads snapshots through the engine.
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"opdaemon/internal/core"
+)
+
+// Handler executes one kind of operation. It receives the engine's run
+// context (cancelled on shutdown deadline) and a snapshot of the
+// operation, and returns a JSON-serialisable result or an error.
+type Handler func(ctx context.Context, op *core.Operation) (any, error)
+
+// Config tunes an Engine. Zero values pick sensible defaults.
+type Config struct {
+	// Workers is the number of concurrent executors (default 4).
+	Workers int
+	// QueueDepth bounds the number of queued-but-unstarted
+	// operations (default 1024). Submissions beyond it fail fast
+	// with core.ErrQueueFull instead of blocking the API.
+	QueueDepth int
+	// Store holds operation state (default NewMemStore()).
+	Store Store
+	// Clock returns the current time; overridable in tests.
+	Clock func() time.Time
+}
+
+// Engine owns the operation lifecycle: it accepts submissions, runs
+// them on a worker pool, and exposes read access to their state.
+type Engine struct {
+	store    Store
+	clock    func() time.Time
+	queue    chan string
+	slots    chan struct{}
+	drained  chan struct{}
+	wg       sync.WaitGroup
+	runCtx   context.Context
+	runStop  context.CancelFunc
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	closed   bool
+}
+
+// New builds and starts an engine; workers begin draining the queue
+// immediately.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.Store == nil {
+		cfg.Store = NewMemStore()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	e := &Engine{
+		store:    cfg.Store,
+		clock:    cfg.Clock,
+		queue:    make(chan string, cfg.QueueDepth),
+		slots:    make(chan struct{}, cfg.QueueDepth),
+		drained:  make(chan struct{}),
+		runCtx:   ctx,
+		runStop:  stop,
+		handlers: make(map[string]Handler),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Register installs the handler for an operation kind. Registering
+// after submissions have started is safe; re-registering replaces the
+// previous handler.
+func (e *Engine) Register(kind string, h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handlers[kind] = h
+}
+
+// Kinds returns the registered operation kinds, for diagnostics.
+func (e *Engine) Kinds() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.handlers))
+	for k := range e.handlers {
+		out = append(out, k)
+	}
+	return out
+}
+
+func (e *Engine) handler(kind string) (Handler, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	h, ok := e.handlers[kind]
+	return h, ok
+}
+
+// Submit validates and enqueues an operation of the given kind,
+// returning its queued snapshot. It fails fast with
+// core.ErrUnknownKind, core.ErrShuttingDown, or core.ErrQueueFull.
+func (e *Engine) Submit(kind string, params map[string]any) (*core.Operation, error) {
+	if kind == "" {
+		return nil, &core.InvalidError{Field: "kind", Reason: "must not be empty"}
+	}
+	if _, ok := e.handler(kind); !ok {
+		return nil, fmt.Errorf("%w: %q", core.ErrUnknownKind, kind)
+	}
+
+	now := e.clock()
+	op := &core.Operation{
+		ID:        core.NewID(),
+		Kind:      kind,
+		Params:    params,
+		Status:    core.StatusQueued,
+		CreatedAt: now,
+		UpdatedAt: now,
+	}
+
+	// Reserve a queue slot before storing, so a queue-full rejection
+	// is never visible through Get/List (a submission racing
+	// Shutdown can still be stored transiently before the second
+	// closed-check deletes it), and store outside the lock so a
+	// (possibly slow, pluggable) Put doesn't serialize submitters.
+	// Workers release the slot when they dequeue, which guarantees
+	// the reserved send below cannot block; the lock keeps
+	// closed-checks atomic with Shutdown closing the queue.
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, core.ErrShuttingDown
+	}
+	select {
+	case e.slots <- struct{}{}:
+	default:
+		e.mu.Unlock()
+		return nil, core.ErrQueueFull
+	}
+	e.mu.Unlock()
+
+	e.store.Put(op)
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		<-e.slots
+		e.store.Delete(op.ID)
+		return nil, core.ErrShuttingDown
+	}
+	e.queue <- op.ID
+	e.mu.Unlock()
+	return op, nil
+}
+
+// Get returns a snapshot of the operation, or core.ErrNotFound.
+func (e *Engine) Get(id string) (*core.Operation, error) {
+	return e.store.Get(id)
+}
+
+// List returns snapshots of all known operations, newest first,
+// optionally filtered to one status.
+func (e *Engine) List(status core.Status) []*core.Operation {
+	ops := e.store.List()
+	if status == "" {
+		return ops
+	}
+	out := make([]*core.Operation, 0, len(ops))
+	for _, op := range ops {
+		if op.Status == status {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Shutdown stops accepting submissions, drains queued operations, and
+// waits for in-flight handlers to finish. If ctx expires first, the
+// handlers' run context is cancelled and Shutdown returns ctx.Err()
+// immediately — a handler that ignores its context may still be
+// running, so the caller decides whether to wait longer or exit.
+// Concurrent and repeated calls all observe the same drain.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.queue)
+		go func() {
+			e.wg.Wait()
+			close(e.drained)
+		}()
+	}
+	e.mu.Unlock()
+
+	select {
+	case <-e.drained:
+		e.runStop()
+		return nil
+	case <-ctx.Done():
+		e.runStop()
+		// Both channels may be ready at once; prefer reporting a
+		// completed drain over a coin-flip deadline error.
+		select {
+		case <-e.drained:
+			return nil
+		default:
+			return ctx.Err()
+		}
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for id := range e.queue {
+		<-e.slots
+		e.run(id)
+	}
+}
+
+func (e *Engine) run(id string) {
+	op, err := e.store.Get(id)
+	if err != nil {
+		// With a pluggable store Get can fail transiently; dropping
+		// the op here would strand it in "queued" with no trace.
+		log.Printf("engine: loading queued operation %s: %v", id, err)
+		e.fail(id, fmt.Errorf("loading operation: %w", err))
+		return
+	}
+	h, ok := e.handler(op.Kind)
+	if !ok {
+		e.fail(id, fmt.Errorf("%w: %q", core.ErrUnknownKind, op.Kind))
+		return
+	}
+
+	e.transition(id, core.StatusRunning, nil, nil)
+	result, err := e.invoke(h, op)
+	if err != nil {
+		e.fail(id, err)
+		return
+	}
+	var raw json.RawMessage
+	if result != nil {
+		if raw, err = json.Marshal(result); err != nil {
+			e.fail(id, fmt.Errorf("result not serializable: %w", err))
+			return
+		}
+	}
+	e.transition(id, core.StatusDone, raw, nil)
+}
+
+// invoke runs the handler, converting a panic into an error so one
+// bad handler fails its operation instead of killing the daemon.
+func (e *Engine) invoke(h Handler, op *core.Operation) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("engine: handler for %s (kind %s) panicked: %v", op.ID, op.Kind, r)
+			result, err = nil, fmt.Errorf("handler panicked: %v", r)
+		}
+	}()
+	return h(e.runCtx, op)
+}
+
+func (e *Engine) fail(id string, cause error) {
+	e.transition(id, core.StatusFailed, nil, cause)
+}
+
+// transition atomically moves the operation to next, refusing illegal
+// lifecycle steps so terminal states are never overwritten.
+func (e *Engine) transition(id string, next core.Status, result json.RawMessage, cause error) {
+	err := e.store.Update(id, func(op *core.Operation) {
+		if !op.Status.CanTransition(next) {
+			return
+		}
+		op.Status = next
+		op.UpdatedAt = e.clock()
+		if result != nil {
+			op.Result = result
+		}
+		if cause != nil {
+			op.Error = cause.Error()
+		}
+	})
+	if err != nil {
+		// A failed write on a pluggable store would otherwise strand
+		// the op in its previous state with no trace.
+		log.Printf("engine: recording %s transition for %s: %v", next, id, err)
+	}
+}

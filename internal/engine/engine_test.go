@@ -1,0 +1,345 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"opdaemon/internal/core"
+)
+
+// waitOp polls until the operation satisfies pred or a 5s deadline
+// expires. It is goroutine-safe (no t.Fatal) so concurrent tests can
+// report the error themselves.
+func waitOp(e *Engine, id string, pred func(*core.Operation) bool) (*core.Operation, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		op, err := e.Get(id)
+		if err != nil {
+			return nil, fmt.Errorf("get %q: %w", id, err)
+		}
+		if pred(op) {
+			return op, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("op %q: timed out in status %s", id, op.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func terminal(op *core.Operation) bool { return op.Status.Terminal() }
+
+// waitStatus polls until the operation reaches a terminal status.
+func waitStatus(t *testing.T, e *Engine, id string) *core.Operation {
+	t.Helper()
+	op, err := waitOp(e, id, terminal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Shutdown(context.Background())
+
+	e.Register("echo", func(_ context.Context, op *core.Operation) (any, error) {
+		return op.Params["msg"], nil
+	})
+
+	op, err := e.Submit("echo", map[string]any{"msg": "hello"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if op.Status != core.StatusQueued {
+		t.Errorf("submitted status = %s, want %s", op.Status, core.StatusQueued)
+	}
+
+	final := waitStatus(t, e, op.ID)
+	if final.Status != core.StatusDone {
+		t.Fatalf("final status = %s (error %q), want %s", final.Status, final.Error, core.StatusDone)
+	}
+	if string(final.Result) != `"hello"` {
+		t.Errorf("result = %s, want %q marshalled", final.Result, "hello")
+	}
+	if final.Error != "" {
+		t.Errorf("error = %q, want empty", final.Error)
+	}
+}
+
+func TestFailedOperationPropagatesError(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Shutdown(context.Background())
+
+	boom := errors.New("disk exploded")
+	e.Register("explode", func(context.Context, *core.Operation) (any, error) {
+		return nil, boom
+	})
+
+	op, err := e.Submit("explode", nil)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	final := waitStatus(t, e, op.ID)
+	if final.Status != core.StatusFailed {
+		t.Fatalf("final status = %s, want %s", final.Status, core.StatusFailed)
+	}
+	if final.Error != boom.Error() {
+		t.Errorf("error = %q, want %q", final.Error, boom.Error())
+	}
+	if final.Result != nil {
+		t.Errorf("result = %s, want nil", final.Result)
+	}
+}
+
+func TestPanickingHandlerFailsOperation(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Shutdown(context.Background())
+
+	e.Register("panic", func(context.Context, *core.Operation) (any, error) {
+		panic("handler bug")
+	})
+	e.Register("ok", func(context.Context, *core.Operation) (any, error) {
+		return "fine", nil
+	})
+
+	bad, err := e.Submit("panic", nil)
+	if err != nil {
+		t.Fatalf("Submit(panic): %v", err)
+	}
+	final := waitStatus(t, e, bad.ID)
+	if final.Status != core.StatusFailed {
+		t.Fatalf("panicked op status = %s, want failed", final.Status)
+	}
+	if final.Error == "" {
+		t.Error("panicked op has empty error message")
+	}
+
+	// The worker must survive the panic and keep processing.
+	good, err := e.Submit("ok", nil)
+	if err != nil {
+		t.Fatalf("Submit(ok): %v", err)
+	}
+	if final := waitStatus(t, e, good.ID); final.Status != core.StatusDone {
+		t.Errorf("op after panic status = %s, want done", final.Status)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Shutdown(context.Background())
+
+	if _, err := e.Submit("nope", nil); !errors.Is(err, core.ErrUnknownKind) {
+		t.Errorf("Submit(unknown kind) error = %v, want ErrUnknownKind", err)
+	}
+	var inv *core.InvalidError
+	if _, err := e.Submit("", nil); !errors.As(err, &inv) {
+		t.Errorf("Submit(empty kind) error = %v, want *core.InvalidError", err)
+	}
+}
+
+func TestGetUnknownID(t *testing.T) {
+	e := New(Config{})
+	defer e.Shutdown(context.Background())
+	if _, err := e.Get("missing"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("Get(missing) error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestConcurrentSubmitPoll(t *testing.T) {
+	e := New(Config{Workers: 8, QueueDepth: 4096})
+	defer e.Shutdown(context.Background())
+
+	e.Register("inc", func(_ context.Context, op *core.Operation) (any, error) {
+		n, _ := op.Params["n"].(int)
+		return n + 1, nil
+	})
+
+	const clients, perClient = 16, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				op, err := e.Submit("inc", map[string]any{"n": i})
+				if err != nil {
+					errs <- fmt.Errorf("client %d submit %d: %w", c, i, err)
+					return
+				}
+				got, err := waitOp(e, op.ID, terminal)
+				if err != nil {
+					errs <- fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+				if got.Status != core.StatusDone {
+					errs <- fmt.Errorf("client %d op %s: status %s (%s)", c, op.ID, got.Status, got.Error)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if got := len(e.List(core.StatusDone)); got != clients*perClient {
+		t.Errorf("done operations = %d, want %d", got, clients*perClient)
+	}
+}
+
+func TestListFilterAndOrder(t *testing.T) {
+	// Clock is called from submitter and worker goroutines; guard it.
+	var clockMu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		now = now.Add(time.Second)
+		return now
+	}
+	e := New(Config{Workers: 1, Clock: clock})
+	defer e.Shutdown(context.Background())
+
+	e.Register("ok", func(context.Context, *core.Operation) (any, error) { return nil, nil })
+	e.Register("bad", func(context.Context, *core.Operation) (any, error) { return nil, errors.New("x") })
+
+	first, _ := e.Submit("ok", nil)
+	second, _ := e.Submit("bad", nil)
+	waitStatus(t, e, first.ID)
+	waitStatus(t, e, second.ID)
+
+	all := e.List("")
+	if len(all) != 2 {
+		t.Fatalf("List(\"\") = %d ops, want 2", len(all))
+	}
+	if all[0].ID != second.ID {
+		t.Errorf("newest-first order violated: got %s first, want %s", all[0].ID, second.ID)
+	}
+	failed := e.List(core.StatusFailed)
+	if len(failed) != 1 || failed[0].ID != second.ID {
+		t.Errorf("List(failed) = %v, want exactly %s", failed, second.ID)
+	}
+}
+
+func TestShutdownDrainsQueue(t *testing.T) {
+	e := New(Config{Workers: 2, QueueDepth: 256})
+
+	var mu sync.Mutex
+	ran := 0
+	e.Register("slow", func(context.Context, *core.Operation) (any, error) {
+		time.Sleep(2 * time.Millisecond)
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		return nil, nil
+	})
+
+	const n = 50
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		op, err := e.Submit("slow", nil)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		ids = append(ids, op.ID)
+	}
+
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	mu.Lock()
+	if ran != n {
+		t.Errorf("handlers ran = %d, want %d (queue not drained)", ran, n)
+	}
+	mu.Unlock()
+	for _, id := range ids {
+		op, err := e.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", id, err)
+		}
+		if op.Status != core.StatusDone {
+			t.Errorf("op %s status = %s after drain, want done", id, op.Status)
+		}
+	}
+
+	if _, err := e.Submit("slow", nil); !errors.Is(err, core.ErrShuttingDown) {
+		t.Errorf("Submit after shutdown error = %v, want ErrShuttingDown", err)
+	}
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Errorf("second Shutdown: %v", err)
+	}
+}
+
+func TestShutdownDeadlineCancelsHandlers(t *testing.T) {
+	e := New(Config{Workers: 1})
+	started := make(chan struct{})
+	e.Register("hang", func(ctx context.Context, _ *core.Operation) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	op, err := e.Submit("hang", nil)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := e.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown error = %v, want DeadlineExceeded", err)
+	}
+	// Shutdown returns without waiting for handlers that ignore the
+	// deadline; this one observes the cancelled run context, so the
+	// operation must settle as failed shortly after.
+	if final := waitStatus(t, e, op.ID); final.Status != core.StatusFailed {
+		t.Errorf("status after cancelled shutdown = %s, want failed", final.Status)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 1})
+	defer e.Shutdown(context.Background())
+
+	release := make(chan struct{})
+	e.Register("block", func(context.Context, *core.Operation) (any, error) {
+		<-release
+		return nil, nil
+	})
+
+	// First submission occupies the single worker; fill the queue
+	// behind it, then the next submission must fail fast.
+	first, err := e.Submit("block", nil)
+	if err != nil {
+		t.Fatalf("Submit 1: %v", err)
+	}
+	// Wait for the worker to pick up the first op so queue slots are
+	// deterministic.
+	if _, err := waitOp(e, first.ID, func(op *core.Operation) bool {
+		return op.Status == core.StatusRunning
+	}); err != nil {
+		t.Fatalf("first op never started running: %v", err)
+	}
+	if _, err := e.Submit("block", nil); err != nil {
+		t.Fatalf("Submit 2 (fills queue): %v", err)
+	}
+	over, err := e.Submit("block", nil)
+	if !errors.Is(err, core.ErrQueueFull) {
+		t.Fatalf("Submit 3 error = %v, want ErrQueueFull", err)
+	}
+	if over != nil {
+		t.Errorf("overflow submission returned op %v, want nil", over)
+	}
+	if got := len(e.List("")); got != 2 {
+		t.Errorf("store holds %d ops after overflow, want 2 (no phantom record)", got)
+	}
+	close(release)
+}

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+
+	"opdaemon/internal/core"
+)
+
+// Store persists operation state. The engine talks to storage only
+// through this interface so a sharded or durable implementation can
+// replace the in-memory one without touching scheduling code.
+//
+// Implementations must be safe for concurrent use and must return
+// snapshots: callers may not observe later mutations through a
+// returned *core.Operation.
+type Store interface {
+	// Put inserts or replaces the operation keyed by op.ID. The
+	// store must not retain op itself — copy before storing — since
+	// the caller keeps using the pointer after Put returns.
+	Put(op *core.Operation)
+	// Get returns a snapshot of the operation, or core.ErrNotFound.
+	Get(id string) (*core.Operation, error)
+	// List returns snapshots of all operations, newest first.
+	List() []*core.Operation
+	// Update applies fn to the stored operation under the store's
+	// lock, making read-modify-write transitions atomic. Returns
+	// core.ErrNotFound if the ID is unknown.
+	Update(id string, fn func(op *core.Operation)) error
+	// Delete removes the operation; deleting an unknown ID is a
+	// no-op.
+	Delete(id string)
+	// Len returns the number of stored operations.
+	Len() int
+}
+
+// memStore is the default mutex-guarded in-memory Store.
+type memStore struct {
+	mu  sync.RWMutex
+	ops map[string]*core.Operation
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() Store {
+	return &memStore{ops: make(map[string]*core.Operation)}
+}
+
+func (s *memStore) Put(op *core.Operation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops[op.ID] = op.Clone()
+}
+
+func (s *memStore) Get(id string) (*core.Operation, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	op, ok := s.ops[id]
+	if !ok {
+		return nil, core.ErrNotFound
+	}
+	return op.Clone(), nil
+}
+
+func (s *memStore) List() []*core.Operation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*core.Operation, 0, len(s.ops))
+	for _, op := range s.ops {
+		out = append(out, op.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.After(out[j].CreatedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func (s *memStore) Update(id string, fn func(op *core.Operation)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	op, ok := s.ops[id]
+	if !ok {
+		return core.ErrNotFound
+	}
+	fn(op)
+	return nil
+}
+
+func (s *memStore) Delete(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.ops, id)
+}
+
+func (s *memStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ops)
+}
