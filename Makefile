@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check fmt
+# Benchmark knobs. BENCHTIME=100x keeps CI fast; use the default
+# (wall-clock) locally for numbers worth comparing. BENCHCPU pins
+# GOMAXPROCS because the contention benchmarks are meaningless with a
+# single scheduler thread (nothing ever contends).
+BENCHTIME ?= 300ms
+BENCHCPU ?= 8
+
+.PHONY: all build test vet fmt-check fmt bench
 
 all: build vet fmt-check test
 
@@ -12,6 +19,9 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=$(BENCHTIME) -cpu=$(BENCHCPU) -run '^$$' ./internal/engine/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

@@ -25,17 +25,26 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:8712", "listen address")
 		workers      = flag.Int("workers", 8, "concurrent operation workers")
 		queueDepth   = flag.Int("queue-depth", 1024, "max queued operations")
+		storeShards  = flag.Int("store-shards", engine.DefaultShardCount, "operation store shard count, rounded up to a power of two (<=1 selects the unsharded single-mutex store)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain operations on shutdown")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queueDepth, *drainTimeout); err != nil {
+	if err := run(*addr, *workers, *queueDepth, *storeShards, *drainTimeout); err != nil {
 		log.Fatalf("daemon: %v", err)
 	}
 }
 
-func run(addr string, workers, queueDepth int, drainTimeout time.Duration) error {
-	eng := engine.New(engine.Config{Workers: workers, QueueDepth: queueDepth})
+// run wires the engine, store, and HTTP server together and blocks
+// until a signal triggers the drain sequence.
+func run(addr string, workers, queueDepth, storeShards int, drainTimeout time.Duration) error {
+	var store engine.Store
+	if storeShards <= 1 {
+		store = engine.NewMemStore()
+	} else {
+		store = engine.NewShardedStore(storeShards)
+	}
+	eng := engine.New(engine.Config{Workers: workers, QueueDepth: queueDepth, Store: store})
 	registerBuiltins(eng)
 
 	srv := &http.Server{
@@ -55,7 +64,7 @@ func run(addr string, workers, queueDepth int, drainTimeout time.Duration) error
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("daemon: listening on http://%s (workers=%d queue=%d)", addr, workers, queueDepth)
+		log.Printf("daemon: listening on http://%s (workers=%d queue=%d shards=%d)", addr, workers, queueDepth, storeShards)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return

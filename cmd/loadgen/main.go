@@ -1,0 +1,328 @@
+// Command loadgen drives an opdaemon instance hard and reports what it
+// measured: request and operation throughput, latency percentiles, and
+// a breakdown of response codes. It is the measurement half of every
+// performance change — run it against a daemon before and after, and
+// keep the numbers in the PR.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:8712 -concurrency 16 -duration 10s \
+//	        -batch 10 -kinds noop=3,echo=1
+//
+// Each worker goroutine loops until the duration expires: it picks
+// operation kinds from the weighted mix, submits them (as a single
+// object when -batch=1, as a JSON array otherwise), and records the
+// request latency. Latency covers submission only — the daemon
+// acknowledges with 202 before executing — so the numbers isolate the
+// API + store + queue path that batching and sharding optimise.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8712", "daemon address (host:port)")
+		concurrency = flag.Int("concurrency", 16, "number of concurrent submitter goroutines")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		batch       = flag.Int("batch", 1, "operations per request (1 sends a single object, >1 a JSON array)")
+		kinds       = flag.String("kinds", "noop=1", "weighted kind mix, e.g. noop=3,echo=1")
+		params      = flag.String("params", "", "optional JSON object sent as params with every operation")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-request timeout")
+		seed        = flag.Int64("seed", 1, "seed for the kind-mix random source")
+	)
+	flag.Parse()
+
+	cfg, err := newRunConfig(*addr, *concurrency, *duration, *batch, *kinds, *params, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	report := cfg.run(*seed)
+	fmt.Print(report.format(cfg))
+	if report.transportErrs > 0 || report.accepted == 0 {
+		os.Exit(1)
+	}
+}
+
+// runConfig is a validated loadgen run: where to send load, how much,
+// and what shape.
+type runConfig struct {
+	url         string
+	concurrency int
+	duration    time.Duration
+	batch       int
+	mix         kindMix
+	params      map[string]any
+	timeout     time.Duration
+}
+
+// newRunConfig validates flags into a runConfig, rejecting values that
+// would make the run meaningless (zero concurrency, empty mix, ...).
+func newRunConfig(addr string, concurrency int, duration time.Duration, batch int, kinds, params string, timeout time.Duration) (*runConfig, error) {
+	if concurrency < 1 {
+		return nil, fmt.Errorf("concurrency must be >= 1, got %d", concurrency)
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("batch must be >= 1, got %d", batch)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("duration must be positive, got %s", duration)
+	}
+	mix, err := parseKindMix(kinds)
+	if err != nil {
+		return nil, err
+	}
+	var p map[string]any
+	if params != "" {
+		if err := json.Unmarshal([]byte(params), &p); err != nil {
+			return nil, fmt.Errorf("parsing -params: %w", err)
+		}
+	}
+	return &runConfig{
+		url:         "http://" + addr + "/v1/operations",
+		concurrency: concurrency,
+		duration:    duration,
+		batch:       batch,
+		mix:         mix,
+		params:      p,
+		timeout:     timeout,
+	}, nil
+}
+
+// kindWeight is one entry of a kind mix.
+type kindWeight struct {
+	kind   string
+	weight int
+}
+
+// kindMix is a weighted set of operation kinds to submit.
+type kindMix struct {
+	entries []kindWeight
+	total   int
+}
+
+// parseKindMix parses "noop=3,echo=1" into a kindMix. A bare kind
+// without "=weight" gets weight 1.
+func parseKindMix(s string) (kindMix, error) {
+	var mix kindMix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, weightStr, found := strings.Cut(part, "=")
+		weight := 1
+		if found {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w < 1 {
+				return kindMix{}, fmt.Errorf("kind %q: weight must be a positive integer, got %q", kind, weightStr)
+			}
+			weight = w
+		}
+		if kind == "" {
+			return kindMix{}, fmt.Errorf("empty kind in mix %q", s)
+		}
+		mix.entries = append(mix.entries, kindWeight{kind: kind, weight: weight})
+		mix.total += weight
+	}
+	if mix.total == 0 {
+		return kindMix{}, fmt.Errorf("kind mix %q selects nothing", s)
+	}
+	return mix, nil
+}
+
+// pick returns one kind drawn from the mix, weighted.
+func (m kindMix) pick(r *rand.Rand) string {
+	n := r.Intn(m.total)
+	for _, e := range m.entries {
+		if n < e.weight {
+			return e.kind
+		}
+		n -= e.weight
+	}
+	// Unreachable: n < total and weights sum to total.
+	return m.entries[len(m.entries)-1].kind
+}
+
+// String renders the mix back in flag syntax for the report header.
+func (m kindMix) String() string {
+	parts := make([]string, len(m.entries))
+	for i, e := range m.entries {
+		parts[i] = fmt.Sprintf("%s=%d", e.kind, e.weight)
+	}
+	return strings.Join(parts, ",")
+}
+
+// submitRequest mirrors the daemon's POST /v1/operations item shape.
+type submitRequest struct {
+	Kind   string         `json:"kind"`
+	Params map[string]any `json:"params,omitempty"`
+}
+
+// workerStats accumulates one worker's measurements; workers never
+// share stats, so the hot loop takes no locks.
+type workerStats struct {
+	latencies     []time.Duration
+	requests      int64
+	accepted      int64
+	codes         map[int]int64
+	transportErrs int64
+}
+
+// report is the merged result of a run.
+type report struct {
+	elapsed       time.Duration
+	requests      int64
+	accepted      int64
+	latencies     []time.Duration
+	codes         map[int]int64
+	transportErrs int64
+}
+
+// run fires cfg.concurrency workers at the daemon until the duration
+// expires, then merges their stats.
+func (cfg *runConfig) run(seed int64) *report {
+	client := &http.Client{
+		Timeout: cfg.timeout,
+		Transport: &http.Transport{
+			// Every worker keeps its connection alive; without this
+			// the default (2 idle conns per host) forces most workers
+			// into TCP handshakes and measures the kernel, not the
+			// daemon.
+			MaxIdleConnsPerHost: cfg.concurrency,
+		},
+	}
+	deadline := time.Now().Add(cfg.duration)
+	stats := make([]*workerStats, cfg.concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.concurrency; i++ {
+		wg.Add(1)
+		stats[i] = &workerStats{codes: make(map[int]int64)}
+		go func(ws *workerStats, workerSeed int64) {
+			defer wg.Done()
+			cfg.worker(client, ws, deadline, workerSeed)
+		}(stats[i], seed+int64(i))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	merged := &report{elapsed: elapsed, codes: make(map[int]int64)}
+	for _, ws := range stats {
+		merged.requests += ws.requests
+		merged.accepted += ws.accepted
+		merged.transportErrs += ws.transportErrs
+		merged.latencies = append(merged.latencies, ws.latencies...)
+		for code, n := range ws.codes {
+			merged.codes[code] += n
+		}
+	}
+	sort.Slice(merged.latencies, func(i, j int) bool { return merged.latencies[i] < merged.latencies[j] })
+	return merged
+}
+
+// worker is one submitter loop: build a body from the mix, POST it,
+// record the outcome, repeat until the deadline.
+func (cfg *runConfig) worker(client *http.Client, ws *workerStats, deadline time.Time, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	for time.Now().Before(deadline) {
+		body, err := cfg.buildBody(r)
+		if err != nil {
+			// A mix that cannot marshal is a config bug; every
+			// iteration would fail identically, so stop this worker.
+			log.Printf("loadgen: building request body: %v", err)
+			ws.transportErrs++
+			return
+		}
+		begin := time.Now()
+		resp, err := client.Post(cfg.url, "application/json", bytes.NewReader(body))
+		took := time.Since(begin)
+		ws.requests++
+		if err != nil {
+			ws.transportErrs++
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		ws.latencies = append(ws.latencies, took)
+		ws.codes[resp.StatusCode]++
+		if resp.StatusCode == http.StatusAccepted {
+			// Batch validation is atomic, so a 202 means every item
+			// was accepted.
+			ws.accepted += int64(cfg.batch)
+		}
+	}
+}
+
+// buildBody marshals the next request: a single object at batch size
+// 1 (exercising the daemon's object path), a JSON array otherwise.
+func (cfg *runConfig) buildBody(r *rand.Rand) ([]byte, error) {
+	if cfg.batch == 1 {
+		return json.Marshal(submitRequest{Kind: cfg.mix.pick(r), Params: cfg.params})
+	}
+	reqs := make([]submitRequest, cfg.batch)
+	for i := range reqs {
+		reqs[i] = submitRequest{Kind: cfg.mix.pick(r), Params: cfg.params}
+	}
+	return json.Marshal(reqs)
+}
+
+// percentile returns the p-th percentile (0 < p <= 100) of sorted
+// latencies using nearest-rank, or 0 for an empty sample.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// format renders the human-readable run report.
+func (rep *report) format(cfg *runConfig) string {
+	var b strings.Builder
+	secs := rep.elapsed.Seconds()
+	fmt.Fprintf(&b, "loadgen: %s against %s (concurrency=%d batch=%d kinds=%s)\n",
+		rep.elapsed.Round(time.Millisecond), cfg.url, cfg.concurrency, cfg.batch, cfg.mix)
+	fmt.Fprintf(&b, "requests:   %d (%.1f/s)\n", rep.requests, float64(rep.requests)/secs)
+	fmt.Fprintf(&b, "operations: %d accepted (%.1f/s)\n", rep.accepted, float64(rep.accepted)/secs)
+	if len(rep.latencies) > 0 {
+		fmt.Fprintf(&b, "latency:    p50=%s p90=%s p99=%s max=%s\n",
+			percentile(rep.latencies, 50).Round(time.Microsecond),
+			percentile(rep.latencies, 90).Round(time.Microsecond),
+			percentile(rep.latencies, 99).Round(time.Microsecond),
+			rep.latencies[len(rep.latencies)-1].Round(time.Microsecond))
+	}
+	codes := make([]int, 0, len(rep.codes))
+	for code := range rep.codes {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Fprintf(&b, "http %d:   %d\n", code, rep.codes[code])
+	}
+	if rep.transportErrs > 0 {
+		fmt.Fprintf(&b, "transport errors: %d\n", rep.transportErrs)
+	}
+	return b.String()
+}

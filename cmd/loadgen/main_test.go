@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseKindMix(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{in: "noop=1", want: "noop=1"},
+		{in: "noop=3,echo=1", want: "noop=3,echo=1"},
+		{in: "noop", want: "noop=1"},
+		{in: " noop = 3 ", wantErr: true}, // inner spaces make the weight unparsable
+		{in: "noop=3, echo", want: "noop=3,echo=1"},
+		{in: "", wantErr: true},
+		{in: "noop=0", wantErr: true},
+		{in: "noop=-2", wantErr: true},
+		{in: "=3", wantErr: true},
+		{in: "noop=x", wantErr: true},
+	} {
+		mix, err := parseKindMix(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseKindMix(%q) = %v, want error", tc.in, mix)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseKindMix(%q): %v", tc.in, err)
+			continue
+		}
+		if got := mix.String(); got != tc.want {
+			t.Errorf("parseKindMix(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestKindMixPickRespectsWeights(t *testing.T) {
+	mix, err := parseKindMix("heavy=9,light=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(42))
+	counts := map[string]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[mix.pick(r)]++
+	}
+	if counts["heavy"]+counts["light"] != n {
+		t.Fatalf("picks outside the mix: %v", counts)
+	}
+	// 9:1 mix should land near 90%; allow generous slack for the RNG.
+	if frac := float64(counts["heavy"]) / n; frac < 0.85 || frac > 0.95 {
+		t.Errorf("heavy fraction = %.3f, want ~0.9", frac)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := make([]time.Duration, 100)
+	for i := range sorted {
+		sorted[i] = time.Duration(i+1) * time.Millisecond
+	}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{90, 90 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+	} {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("percentile(%v) = %s, want %s", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(empty) = %s, want 0", got)
+	}
+}
+
+func TestBuildBodyShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	mix, _ := parseKindMix("noop=1")
+
+	single := &runConfig{batch: 1, mix: mix, params: map[string]any{"ms": 5}}
+	body, err := single.buildBody(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(body, &obj); err != nil {
+		t.Fatalf("batch=1 body is not a JSON object: %s", body)
+	}
+	if obj["kind"] != "noop" {
+		t.Errorf("kind = %v, want noop", obj["kind"])
+	}
+
+	batched := &runConfig{batch: 3, mix: mix}
+	body, err = batched.buildBody(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(body, &arr); err != nil {
+		t.Fatalf("batch=3 body is not a JSON array: %s", body)
+	}
+	if len(arr) != 3 {
+		t.Errorf("batch=3 body has %d items, want 3", len(arr))
+	}
+}
+
+func TestRunAgainstStubDaemon(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"type":"async","status_code":202,"result":[]}`))
+	}))
+	defer srv.Close()
+
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 4, "noop=1", "", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := cfg.run(1)
+	if rep.requests == 0 {
+		t.Fatal("run made no requests")
+	}
+	if rep.accepted != rep.requests*4 {
+		t.Errorf("accepted = %d, want requests*batch = %d", rep.accepted, rep.requests*4)
+	}
+	if rep.transportErrs != 0 {
+		t.Errorf("transport errors = %d, want 0", rep.transportErrs)
+	}
+	out := rep.format(cfg)
+	for _, want := range []string{"requests:", "operations:", "latency:", "http 202:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNewRunConfigValidation(t *testing.T) {
+	for name, tc := range map[string]struct {
+		concurrency int
+		batch       int
+		duration    time.Duration
+		kinds       string
+		params      string
+	}{
+		"zero concurrency": {0, 1, time.Second, "noop=1", ""},
+		"zero batch":       {1, 0, time.Second, "noop=1", ""},
+		"zero duration":    {1, 1, 0, "noop=1", ""},
+		"bad mix":          {1, 1, time.Second, "noop=zero", ""},
+		"bad params":       {1, 1, time.Second, "noop=1", "{not json"},
+	} {
+		if _, err := newRunConfig("x", tc.concurrency, tc.duration, tc.batch, tc.kinds, tc.params, time.Second); err == nil {
+			t.Errorf("%s: newRunConfig accepted invalid input", name)
+		}
+	}
+}

@@ -53,7 +53,9 @@ func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// submitRequest is the body of POST /v1/operations.
+// submitRequest is one operation in the body of POST /v1/operations,
+// either the whole body (single submission) or one array element
+// (batch submission).
 type submitRequest struct {
 	Kind   string         `json:"kind"`
 	Params map[string]any `json:"params"`
@@ -71,6 +73,10 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "reading request body")
 		return
 	}
+	if isJSONArray(body) {
+		s.submitBatch(w, body)
+		return
+	}
 	var req submitRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed JSON body: %v", err))
@@ -83,6 +89,45 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeAsync(w, resourcePath(op), op)
+}
+
+// submitBatch handles a POST /v1/operations body that is a JSON array:
+// every element is validated, the batch is enqueued atomically, and
+// the reply carries one async envelope per item (or one error envelope
+// naming every invalid item).
+func (s *Server) submitBatch(w http.ResponseWriter, body []byte) {
+	var reqs []submitRequest
+	if err := json.Unmarshal(body, &reqs); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed JSON body: %v", err))
+		return
+	}
+	// Empty and oversized batches are the engine's call (it knows the
+	// queue capacity); both surface as InvalidError → 400.
+	items := make([]engine.BatchItem, len(reqs))
+	for i, req := range reqs {
+		items[i] = engine.BatchItem{Kind: req.Kind, Params: req.Params}
+	}
+	ops, err := s.engine.SubmitBatch(items)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeBatchAsync(w, ops)
+}
+
+// isJSONArray reports whether the body's first non-whitespace byte
+// opens a JSON array, distinguishing batch from single submissions
+// without parsing the body twice.
+func isJSONArray(body []byte) bool {
+	for _, b := range body {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		default:
+			return b == '['
+		}
+	}
+	return false
 }
 
 func (s *Server) get(w http.ResponseWriter, r *http.Request) {
@@ -123,7 +168,10 @@ func (s *Server) notFound(w http.ResponseWriter, r *http.Request) {
 // writeEngineError maps engine and core errors onto HTTP codes.
 func writeEngineError(w http.ResponseWriter, err error) {
 	var inv *core.InvalidError
+	var batch *core.BatchError
 	switch {
+	case errors.As(err, &batch):
+		writeBatchError(w, batch)
 	case errors.As(err, &inv):
 		writeError(w, http.StatusBadRequest, inv.Error())
 	case errors.Is(err, core.ErrUnknownKind):

@@ -141,6 +141,147 @@ func TestSubmitThenPollReachesDone(t *testing.T) {
 	}
 }
 
+// batchItems extracts the per-item envelope list from a batch reply.
+func batchItems(t *testing.T, resp Response) []map[string]any {
+	t.Helper()
+	raw, ok := resp.Result.([]any)
+	if !ok {
+		t.Fatalf("batch result = %T, want array of envelopes", resp.Result)
+	}
+	items := make([]map[string]any, len(raw))
+	for i, it := range raw {
+		m, ok := it.(map[string]any)
+		if !ok {
+			t.Fatalf("batch item %d = %T, want object", i, it)
+		}
+		items[i] = m
+	}
+	return items
+}
+
+func TestSubmitBatchReturnsPerItemEnvelopes(t *testing.T) {
+	s, _ := newTestServer(t)
+	// Leading whitespace must not confuse array detection.
+	body := `  [{"kind":"echo","params":{"i":0}},{"kind":"echo","params":{"i":1}},{"kind":"echo","params":{"i":2}}]`
+	w, resp := doJSON(t, s, "POST", "/v1/operations", body)
+	checkEnvelope(t, w, resp, "async", http.StatusAccepted)
+	if loc := w.Header().Get("Location"); loc != "" {
+		t.Errorf("batch reply sets Location header %q, want none (per-item locations)", loc)
+	}
+
+	items := batchItems(t, resp)
+	if len(items) != 3 {
+		t.Fatalf("batch reply has %d items, want 3", len(items))
+	}
+	for i, item := range items {
+		if item["type"] != "async" {
+			t.Errorf("item %d type = %v, want async", i, item["type"])
+		}
+		if code, _ := item["status_code"].(float64); int(code) != http.StatusAccepted {
+			t.Errorf("item %d status_code = %v, want 202", i, item["status_code"])
+		}
+		op, ok := item["result"].(map[string]any)
+		if !ok {
+			t.Fatalf("item %d result = %T, want operation object", i, item["result"])
+		}
+		id, _ := op["id"].(string)
+		if id == "" {
+			t.Fatalf("item %d has no operation id", i)
+		}
+		if item["location"] != "/v1/operations/"+id {
+			t.Errorf("item %d location = %v, want /v1/operations/%s", i, item["location"], id)
+		}
+		if op["status"] != string(core.StatusQueued) {
+			t.Errorf("item %d status = %v, want queued", i, op["status"])
+		}
+		// Batch order must be preserved in the reply.
+		params, _ := op["params"].(map[string]any)
+		if got, _ := params["i"].(float64); int(got) != i {
+			t.Errorf("item %d carries params %v, want i=%d", i, params, i)
+		}
+	}
+}
+
+// TestSubmitBatch100Items is the acceptance criterion: one POST with a
+// 100-item array returns 100 per-item envelopes in one response, and
+// every operation runs to done.
+func TestSubmitBatch100Items(t *testing.T) {
+	s, e := newTestServer(t)
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 0; i < 100; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(`{"kind":"echo"}`)
+	}
+	sb.WriteByte(']')
+
+	w, resp := doJSON(t, s, "POST", "/v1/operations", sb.String())
+	checkEnvelope(t, w, resp, "async", http.StatusAccepted)
+	items := batchItems(t, resp)
+	if len(items) != 100 {
+		t.Fatalf("batch reply has %d items, want 100", len(items))
+	}
+	for i, item := range items {
+		op := item["result"].(map[string]any)
+		id, _ := op["id"].(string)
+		if id == "" {
+			t.Fatalf("item %d has no id", i)
+		}
+		if final := waitTerminal(t, e, id); final.Status != core.StatusDone {
+			t.Errorf("op %d status = %s (%s), want done", i, final.Status, final.Error)
+		}
+	}
+}
+
+func TestSubmitBatchValidationErrorEnvelope(t *testing.T) {
+	s, e := newTestServer(t)
+	body := `[{"kind":"echo"},{"kind":"bogus"},{}]`
+	w, resp := doJSON(t, s, "POST", "/v1/operations", body)
+	checkEnvelope(t, w, resp, "error", http.StatusBadRequest)
+
+	result, ok := resp.Result.(map[string]any)
+	if !ok {
+		t.Fatalf("error result = %T, want object", resp.Result)
+	}
+	if msg, _ := result["message"].(string); !strings.Contains(msg, "2 of 3") {
+		t.Errorf("error message = %q, want batch summary mentioning 2 of 3", msg)
+	}
+	items, ok := result["items"].([]any)
+	if !ok || len(items) != 2 {
+		t.Fatalf("error items = %v, want 2 entries", result["items"])
+	}
+	first := items[0].(map[string]any)
+	if idx, _ := first["index"].(float64); int(idx) != 1 {
+		t.Errorf("first invalid index = %v, want 1", first["index"])
+	}
+	if msg, _ := first["message"].(string); !strings.Contains(msg, "bogus") {
+		t.Errorf("first invalid message = %q, want mention of kind bogus", msg)
+	}
+	second := items[1].(map[string]any)
+	if idx, _ := second["index"].(float64); int(idx) != 2 {
+		t.Errorf("second invalid index = %v, want 2", second["index"])
+	}
+
+	// Atomic rejection: the valid first item must not have been run.
+	if ops := e.List(""); len(ops) != 0 {
+		t.Errorf("engine holds %d ops after rejected batch, want 0", len(ops))
+	}
+}
+
+func TestSubmitBatchEmptyArray(t *testing.T) {
+	s, _ := newTestServer(t)
+	w, resp := doJSON(t, s, "POST", "/v1/operations", `[]`)
+	checkEnvelope(t, w, resp, "error", http.StatusBadRequest)
+}
+
+func TestSubmitBatchMalformedArray(t *testing.T) {
+	s, _ := newTestServer(t)
+	w, resp := doJSON(t, s, "POST", "/v1/operations", `[{"kind":"echo"},`)
+	checkEnvelope(t, w, resp, "error", http.StatusBadRequest)
+}
+
 func TestErrorEnvelopes(t *testing.T) {
 	for _, tc := range []struct {
 		name     string

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"log"
 	"net/http"
+
+	"opdaemon/internal/core"
 )
 
 // Response is the JSON envelope wrapping every API reply, following
@@ -70,9 +72,72 @@ func writeAsync(w http.ResponseWriter, location string, result any) {
 	}, map[string]string{"Location": location})
 }
 
+// batchItemEnvelope mirrors the top-level async envelope for one
+// element of a batch submission. It carries a per-item location
+// because a single Location header cannot point at many operations.
+type batchItemEnvelope struct {
+	Type       string          `json:"type"`
+	Status     string          `json:"status"`
+	StatusCode int             `json:"status_code"`
+	Location   string          `json:"location"`
+	Result     *core.Operation `json:"result"`
+}
+
+// writeBatchAsync replies 202 Accepted with one async envelope per
+// accepted operation, in batch order. No Location header is set; each
+// item embeds its own poll URL.
+func writeBatchAsync(w http.ResponseWriter, ops []*core.Operation) {
+	items := make([]batchItemEnvelope, len(ops))
+	for i, op := range ops {
+		items[i] = batchItemEnvelope{
+			Type:       typeAsync,
+			Status:     http.StatusText(http.StatusAccepted),
+			StatusCode: http.StatusAccepted,
+			Location:   resourcePath(op),
+			Result:     op,
+		}
+	}
+	writeJSON(w, http.StatusAccepted, &Response{
+		Type:       typeAsync,
+		Status:     http.StatusText(http.StatusAccepted),
+		StatusCode: http.StatusAccepted,
+		Result:     items,
+	}, nil)
+}
+
 // errorResult is the result payload of an error envelope.
 type errorResult struct {
 	Message string `json:"message"`
+}
+
+// batchErrorResult is the result payload when a batch submission fails
+// validation: a summary message plus every invalid item, so the client
+// can repair the whole batch in one round trip.
+type batchErrorResult struct {
+	Message string           `json:"message"`
+	Items   []batchItemError `json:"items"`
+}
+
+// batchItemError names one invalid batch element by its zero-based
+// position in the submitted array.
+type batchItemError struct {
+	Index   int    `json:"index"`
+	Message string `json:"message"`
+}
+
+// writeBatchError replies 400 with an error envelope listing every
+// invalid item of a rejected batch.
+func writeBatchError(w http.ResponseWriter, berr *core.BatchError) {
+	items := make([]batchItemError, len(berr.Items))
+	for i, it := range berr.Items {
+		items[i] = batchItemError{Index: it.Index, Message: it.Err.Error()}
+	}
+	writeJSON(w, http.StatusBadRequest, &Response{
+		Type:       typeError,
+		Status:     http.StatusText(http.StatusBadRequest),
+		StatusCode: http.StatusBadRequest,
+		Result:     batchErrorResult{Message: berr.Error(), Items: items},
+	}, nil)
 }
 
 // writeError replies with an error envelope carrying a client-safe

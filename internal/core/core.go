@@ -101,12 +101,40 @@ var (
 // InvalidError describes a request that is malformed before it ever
 // reaches a handler (bad kind, bad params).
 type InvalidError struct {
-	Field  string
+	// Field names what was invalid ("kind", "batch", ...).
+	Field string
+	// Reason says why, in a client-safe sentence fragment.
 	Reason string
 }
 
+// Error implements the error interface.
 func (e *InvalidError) Error() string {
 	return fmt.Sprintf("invalid %s: %s", e.Field, e.Reason)
+}
+
+// BatchItemError ties one validation failure to its zero-based
+// position in a batch submission.
+type BatchItemError struct {
+	// Index is the item's position in the submitted batch.
+	Index int
+	// Err is the item's validation failure.
+	Err error
+}
+
+// BatchError reports that a batch submission was rejected. Batches are
+// validated atomically — when any item is invalid nothing is enqueued —
+// and Items lists every failing item so a client can repair the whole
+// request in one round trip.
+type BatchError struct {
+	// Total is the number of items in the rejected batch.
+	Total int
+	// Items holds the per-item failures, in batch order.
+	Items []BatchItemError
+}
+
+// Error summarises the rejection; the per-item details are in Items.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("batch rejected: %d of %d items invalid", len(e.Items), e.Total)
 }
 
 // NewID returns a 128-bit random hex identifier for an operation.

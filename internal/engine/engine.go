@@ -6,6 +6,7 @@ package engine
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"sync"
@@ -27,7 +28,8 @@ type Config struct {
 	// operations (default 1024). Submissions beyond it fail fast
 	// with core.ErrQueueFull instead of blocking the API.
 	QueueDepth int
-	// Store holds operation state (default NewMemStore()).
+	// Store holds operation state (default
+	// NewShardedStore(DefaultShardCount)).
 	Store Store
 	// Clock returns the current time; overridable in tests.
 	Clock func() time.Time
@@ -59,7 +61,7 @@ func New(cfg Config) *Engine {
 		cfg.QueueDepth = 1024
 	}
 	if cfg.Store == nil {
-		cfg.Store = NewMemStore()
+		cfg.Store = NewShardedStore(DefaultShardCount)
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
@@ -109,60 +111,147 @@ func (e *Engine) handler(kind string) (Handler, bool) {
 	return h, ok
 }
 
+// BatchItem describes one operation in a batch submission.
+type BatchItem struct {
+	// Kind selects the registered handler.
+	Kind string
+	// Params is the handler's input, passed through verbatim.
+	Params map[string]any
+}
+
 // Submit validates and enqueues an operation of the given kind,
 // returning its queued snapshot. It fails fast with
 // core.ErrUnknownKind, core.ErrShuttingDown, or core.ErrQueueFull.
 func (e *Engine) Submit(kind string, params map[string]any) (*core.Operation, error) {
-	if kind == "" {
-		return nil, &core.InvalidError{Field: "kind", Reason: "must not be empty"}
+	ops, err := e.SubmitBatch([]BatchItem{{Kind: kind, Params: params}})
+	if err != nil {
+		// A single-item batch rejection carries exactly one item
+		// error; surface it directly so callers keep seeing the
+		// same ErrUnknownKind / InvalidError values as before
+		// batching existed.
+		var berr *core.BatchError
+		if errors.As(err, &berr) && len(berr.Items) == 1 {
+			return nil, berr.Items[0].Err
+		}
+		return nil, err
 	}
-	if _, ok := e.handler(kind); !ok {
-		return nil, fmt.Errorf("%w: %q", core.ErrUnknownKind, kind)
+	return ops[0], nil
+}
+
+// SubmitBatch validates and enqueues a batch of operations atomically:
+// either every item is accepted and queued snapshots are returned in
+// batch order, or nothing is enqueued. Validation failures are
+// reported per item through *core.BatchError; capacity and shutdown
+// failures (core.ErrQueueFull, core.ErrShuttingDown) apply to the
+// batch as a whole. Store writes are amortised into a single PutBatch
+// call, so large batches take each store lock O(shards) times instead
+// of O(items).
+func (e *Engine) SubmitBatch(items []BatchItem) ([]*core.Operation, error) {
+	if len(items) == 0 {
+		return nil, &core.InvalidError{Field: "batch", Reason: "must contain at least one item"}
+	}
+	if len(items) > cap(e.slots) {
+		// Such a batch can never be accepted, so reject it as a
+		// client error rather than ErrQueueFull, whose "retry later"
+		// semantics would have the client retry forever.
+		return nil, &core.InvalidError{
+			Field:  "batch",
+			Reason: fmt.Sprintf("size %d exceeds queue capacity %d", len(items), cap(e.slots)),
+		}
+	}
+
+	// Validate every item before touching the queue or store, so a
+	// rejected batch leaves no trace and the client learns about all
+	// bad items in one round trip. One read-lock covers the whole
+	// loop — per-item locking would re-serialize submitters on the
+	// engine mutex.
+	var berr *core.BatchError
+	e.mu.RLock()
+	for i, it := range items {
+		var err error
+		switch {
+		case it.Kind == "":
+			err = &core.InvalidError{Field: "kind", Reason: "must not be empty"}
+		default:
+			if _, ok := e.handlers[it.Kind]; !ok {
+				err = fmt.Errorf("%w: %q", core.ErrUnknownKind, it.Kind)
+			}
+		}
+		if err != nil {
+			if berr == nil {
+				berr = &core.BatchError{Total: len(items)}
+			}
+			berr.Items = append(berr.Items, core.BatchItemError{Index: i, Err: err})
+		}
+	}
+	e.mu.RUnlock()
+	if berr != nil {
+		return nil, berr
 	}
 
 	now := e.clock()
-	op := &core.Operation{
-		ID:        core.NewID(),
-		Kind:      kind,
-		Params:    params,
-		Status:    core.StatusQueued,
-		CreatedAt: now,
-		UpdatedAt: now,
+	ops := make([]*core.Operation, len(items))
+	for i, it := range items {
+		ops[i] = &core.Operation{
+			ID:        core.NewID(),
+			Kind:      it.Kind,
+			Params:    it.Params,
+			Status:    core.StatusQueued,
+			CreatedAt: now,
+			UpdatedAt: now,
+		}
 	}
 
-	// Reserve a queue slot before storing, so a queue-full rejection
+	// Reserve queue slots before storing, so a queue-full rejection
 	// is never visible through Get/List (a submission racing
 	// Shutdown can still be stored transiently before the second
 	// closed-check deletes it), and store outside the lock so a
-	// (possibly slow, pluggable) Put doesn't serialize submitters.
-	// Workers release the slot when they dequeue, which guarantees
-	// the reserved send below cannot block; the lock keeps
-	// closed-checks atomic with Shutdown closing the queue.
+	// (possibly slow, pluggable) PutBatch doesn't serialize
+	// submitters. Workers release slots when they dequeue, which
+	// guarantees the reserved sends below cannot block; the lock
+	// keeps closed-checks atomic with Shutdown closing the queue.
+	// Reservation is all-or-nothing: on a full queue the tokens taken
+	// so far are drained back, which cannot block because every other
+	// token in the channel is backed by a queued ID a worker has not
+	// yet dequeued.
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return nil, core.ErrShuttingDown
 	}
-	select {
-	case e.slots <- struct{}{}:
-	default:
-		e.mu.Unlock()
-		return nil, core.ErrQueueFull
+	reserved := 0
+	for range ops {
+		select {
+		case e.slots <- struct{}{}:
+			reserved++
+		default:
+			for ; reserved > 0; reserved-- {
+				<-e.slots
+			}
+			e.mu.Unlock()
+			return nil, core.ErrQueueFull
+		}
 	}
 	e.mu.Unlock()
 
-	e.store.Put(op)
+	e.store.PutBatch(ops)
 
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		<-e.slots
-		e.store.Delete(op.ID)
+		for range ops {
+			<-e.slots
+		}
+		for _, op := range ops {
+			e.store.Delete(op.ID)
+		}
 		return nil, core.ErrShuttingDown
 	}
-	e.queue <- op.ID
+	for _, op := range ops {
+		e.queue <- op.ID
+	}
 	e.mu.Unlock()
-	return op, nil
+	return ops, nil
 }
 
 // Get returns a snapshot of the operation, or core.ErrNotFound.

@@ -305,6 +305,156 @@ func TestShutdownDeadlineCancelsHandlers(t *testing.T) {
 	}
 }
 
+func TestSubmitBatchRunsAll(t *testing.T) {
+	e := New(Config{Workers: 4})
+	defer e.Shutdown(context.Background())
+	e.Register("echo", func(_ context.Context, op *core.Operation) (any, error) {
+		return op.Params["i"], nil
+	})
+
+	const n = 20
+	items := make([]BatchItem, n)
+	for i := range items {
+		items[i] = BatchItem{Kind: "echo", Params: map[string]any{"i": i}}
+	}
+	ops, err := e.SubmitBatch(items)
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	if len(ops) != n {
+		t.Fatalf("SubmitBatch returned %d ops, want %d", len(ops), n)
+	}
+	for i, op := range ops {
+		if op.Status != core.StatusQueued {
+			t.Errorf("op %d submitted status = %s, want queued", i, op.Status)
+		}
+		final := waitStatus(t, e, op.ID)
+		if final.Status != core.StatusDone {
+			t.Errorf("op %d status = %s (%s), want done", i, final.Status, final.Error)
+		}
+		if want := fmt.Sprintf("%d", i); string(final.Result) != want {
+			t.Errorf("op %d result = %s, want %s (batch order preserved)", i, final.Result, want)
+		}
+	}
+}
+
+func TestSubmitBatchValidatesAtomically(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Shutdown(context.Background())
+	e.Register("ok", func(context.Context, *core.Operation) (any, error) { return nil, nil })
+
+	_, err := e.SubmitBatch([]BatchItem{
+		{Kind: "ok"},
+		{Kind: "nope"},
+		{Kind: "ok"},
+		{Kind: ""},
+	})
+	var berr *core.BatchError
+	if !errors.As(err, &berr) {
+		t.Fatalf("SubmitBatch error = %v, want *core.BatchError", err)
+	}
+	if berr.Total != 4 || len(berr.Items) != 2 {
+		t.Fatalf("BatchError = %d invalid of %d, want 2 of 4", len(berr.Items), berr.Total)
+	}
+	if berr.Items[0].Index != 1 || !errors.Is(berr.Items[0].Err, core.ErrUnknownKind) {
+		t.Errorf("first item error = index %d, %v; want index 1, ErrUnknownKind", berr.Items[0].Index, berr.Items[0].Err)
+	}
+	var inv *core.InvalidError
+	if berr.Items[1].Index != 3 || !errors.As(berr.Items[1].Err, &inv) {
+		t.Errorf("second item error = index %d, %v; want index 3, *core.InvalidError", berr.Items[1].Index, berr.Items[1].Err)
+	}
+	// Atomicity: the valid items must not have been stored or run.
+	if got := len(e.List("")); got != 0 {
+		t.Errorf("store holds %d ops after rejected batch, want 0", got)
+	}
+}
+
+func TestSubmitBatchEmpty(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Shutdown(context.Background())
+	var inv *core.InvalidError
+	if _, err := e.SubmitBatch(nil); !errors.As(err, &inv) {
+		t.Errorf("SubmitBatch(nil) error = %v, want *core.InvalidError", err)
+	}
+}
+
+func TestSubmitBatchQueueFullIsAllOrNothing(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 2})
+	defer e.Shutdown(context.Background())
+
+	release := make(chan struct{})
+	e.Register("block", func(context.Context, *core.Operation) (any, error) {
+		<-release
+		return nil, nil
+	})
+
+	// Occupy the single worker, then fill one of the two queue slots,
+	// so a 2-item batch needs more capacity than remains.
+	first, err := e.Submit("block", nil)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := waitOp(e, first.ID, func(op *core.Operation) bool {
+		return op.Status == core.StatusRunning
+	}); err != nil {
+		t.Fatalf("first op never started running: %v", err)
+	}
+	if _, err := e.Submit("block", nil); err != nil {
+		t.Fatalf("Submit (fills one slot): %v", err)
+	}
+
+	over, err := e.SubmitBatch([]BatchItem{{Kind: "block"}, {Kind: "block"}})
+	if !errors.Is(err, core.ErrQueueFull) {
+		t.Fatalf("overflowing batch error = %v, want ErrQueueFull", err)
+	}
+	if over != nil {
+		t.Errorf("overflowing batch returned ops %v, want nil", over)
+	}
+	if got := len(e.List("")); got != 2 {
+		t.Errorf("store holds %d ops after rejected batch, want 2 (no partial enqueue)", got)
+	}
+
+	// The failed reservation must have returned its slot: a batch
+	// that fits the remaining capacity must now succeed.
+	fits, err := e.SubmitBatch([]BatchItem{{Kind: "block"}})
+	if err != nil {
+		t.Fatalf("fitting batch after rejected batch: %v", err)
+	}
+	close(release)
+	for _, op := range fits {
+		waitStatus(t, e, op.ID)
+	}
+}
+
+func TestSubmitBatchLargerThanQueueCapacity(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 2})
+	defer e.Shutdown(context.Background())
+	e.Register("ok", func(context.Context, *core.Operation) (any, error) { return nil, nil })
+
+	// A batch that exceeds total queue capacity can never succeed, so
+	// it must be a permanent InvalidError, not the retryable
+	// ErrQueueFull.
+	var inv *core.InvalidError
+	_, err := e.SubmitBatch([]BatchItem{{Kind: "ok"}, {Kind: "ok"}, {Kind: "ok"}})
+	if !errors.As(err, &inv) {
+		t.Fatalf("over-capacity batch error = %v, want *core.InvalidError", err)
+	}
+	if got := len(e.List("")); got != 0 {
+		t.Errorf("store holds %d ops after over-capacity batch, want 0", got)
+	}
+}
+
+func TestSubmitBatchAfterShutdown(t *testing.T) {
+	e := New(Config{Workers: 1})
+	e.Register("ok", func(context.Context, *core.Operation) (any, error) { return nil, nil })
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := e.SubmitBatch([]BatchItem{{Kind: "ok"}}); !errors.Is(err, core.ErrShuttingDown) {
+		t.Errorf("SubmitBatch after shutdown error = %v, want ErrShuttingDown", err)
+	}
+}
+
 func TestQueueFull(t *testing.T) {
 	e := New(Config{Workers: 1, QueueDepth: 1})
 	defer e.Shutdown(context.Background())

@@ -19,6 +19,10 @@ type Store interface {
 	// store must not retain op itself — copy before storing — since
 	// the caller keeps using the pointer after Put returns.
 	Put(op *core.Operation)
+	// PutBatch inserts or replaces every operation, amortising lock
+	// acquisitions across the batch where the implementation allows.
+	// The same no-retention rule as Put applies to each element.
+	PutBatch(ops []*core.Operation)
 	// Get returns a snapshot of the operation, or core.ErrNotFound.
 	Get(id string) (*core.Operation, error)
 	// List returns snapshots of all operations, newest first.
@@ -34,7 +38,9 @@ type Store interface {
 	Len() int
 }
 
-// memStore is the default mutex-guarded in-memory Store.
+// memStore is the single-mutex in-memory Store: the simplest correct
+// implementation, kept as the conformance reference and the benchmark
+// baseline that shardedStore must beat under contention.
 type memStore struct {
 	mu  sync.RWMutex
 	ops map[string]*core.Operation
@@ -46,19 +52,45 @@ func NewMemStore() Store {
 }
 
 func (s *memStore) Put(op *core.Operation) {
+	// Clone outside the critical section: the copy is per-operation
+	// work, only the map assignment needs the lock.
+	c := op.Clone()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ops[op.ID] = op.Clone()
+	s.ops[c.ID] = c
+	s.mu.Unlock()
+}
+
+func (s *memStore) PutBatch(ops []*core.Operation) {
+	if len(ops) == 1 {
+		s.Put(ops[0])
+		return
+	}
+	clones := make([]*core.Operation, len(ops))
+	for i, op := range ops {
+		clones[i] = op.Clone()
+	}
+	s.mu.Lock()
+	for _, c := range clones {
+		s.ops[c.ID] = c
+	}
+	s.mu.Unlock()
 }
 
 func (s *memStore) Get(id string) (*core.Operation, error) {
+	// Allocate the snapshot before taking the lock so the critical
+	// section is a fixed-size copy, never a trip through the
+	// allocator (which can stall on GC assist).
+	out := new(core.Operation)
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	op, ok := s.ops[id]
+	if ok {
+		*out = *op
+	}
+	s.mu.RUnlock()
 	if !ok {
 		return nil, core.ErrNotFound
 	}
-	return op.Clone(), nil
+	return out, nil
 }
 
 func (s *memStore) List() []*core.Operation {
@@ -68,13 +100,20 @@ func (s *memStore) List() []*core.Operation {
 	for _, op := range s.ops {
 		out = append(out, op.Clone())
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
-			return out[i].CreatedAt.After(out[j].CreatedAt)
-		}
-		return out[i].ID < out[j].ID
-	})
+	sortNewestFirst(out)
 	return out
+}
+
+// sortNewestFirst orders operations newest first, breaking CreatedAt
+// ties by ID so List output is stable. Shared by every Store
+// implementation so they agree on ordering exactly.
+func sortNewestFirst(ops []*core.Operation) {
+	sort.Slice(ops, func(i, j int) bool {
+		if !ops[i].CreatedAt.Equal(ops[j].CreatedAt) {
+			return ops[i].CreatedAt.After(ops[j].CreatedAt)
+		}
+		return ops[i].ID < ops[j].ID
+	})
 }
 
 func (s *memStore) Update(id string, fn func(op *core.Operation)) error {

@@ -1,0 +1,168 @@
+package engine
+
+// Benchmarks comparing the single-mutex memStore against the sharded
+// store. The serial variants establish that sharding costs nothing
+// when there is no contention; the parallel variants are the ones the
+// sharded store exists to win. Run via `make bench` or:
+//
+//	go test -bench=. -benchtime=100x -run '^$' ./internal/engine/
+//
+// CI runs the 100x variant on every push so a perf regression is
+// visible in the logs next to the test results.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"opdaemon/internal/core"
+)
+
+// benchImpls pairs each Store implementation with a label; sharded
+// runs at the default count the daemon ships with.
+func benchImpls() []struct {
+	name string
+	mk   func() Store
+} {
+	return []struct {
+		name string
+		mk   func() Store
+	}{
+		{"mem", NewMemStore},
+		{fmt.Sprintf("sharded-%d", DefaultShardCount), func() Store { return NewShardedStore(DefaultShardCount) }},
+	}
+}
+
+// prepopulate fills the store with n operations and returns them so
+// benchmark loops can reuse the IDs without allocating.
+func prepopulate(s Store, n int) []*core.Operation {
+	t0 := time.Unix(1000, 0)
+	ops := make([]*core.Operation, n)
+	for i := range ops {
+		ops[i] = mkOp(core.NewID(), t0.Add(time.Duration(i)*time.Millisecond))
+	}
+	s.PutBatch(ops)
+	return ops
+}
+
+// BenchmarkStoreGetPut measures the uncontended single-goroutine
+// Put+Get round trip — the floor sharding must not regress.
+func BenchmarkStoreGetPut(b *testing.B) {
+	for _, impl := range benchImpls() {
+		b.Run(impl.name, func(b *testing.B) {
+			s := impl.mk()
+			ops := prepopulate(s, 1024)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op := ops[i%len(ops)]
+				s.Put(op)
+				if _, err := s.Get(op.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreGetPutParallel hammers Put+Get from GOMAXPROCS
+// goroutines over a shared key set — the contention profile of many
+// API clients submitting and polling at once. This is the benchmark
+// the sharded store must win against memStore.
+func BenchmarkStoreGetPutParallel(b *testing.B) {
+	for _, impl := range benchImpls() {
+		b.Run(impl.name, func(b *testing.B) {
+			s := impl.mk()
+			ops := prepopulate(s, 4096)
+			var next atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Stride goroutines across the key space so they
+				// touch different shards, as real distinct operations
+				// do.
+				i := int(next.Add(1)) * 31
+				for pb.Next() {
+					op := ops[i%len(ops)]
+					i++
+					s.Put(op)
+					if _, err := s.Get(op.ID); err != nil {
+						// b.Fatal must not run on a RunParallel
+						// worker goroutine.
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreUpdateParallel measures contended read-modify-write
+// transitions, the engine's hot path when workers complete operations
+// while clients poll.
+func BenchmarkStoreUpdateParallel(b *testing.B) {
+	for _, impl := range benchImpls() {
+		b.Run(impl.name, func(b *testing.B) {
+			s := impl.mk()
+			ops := prepopulate(s, 4096)
+			var next atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(next.Add(1)) * 31
+				for pb.Next() {
+					op := ops[i%len(ops)]
+					i++
+					err := s.Update(op.ID, func(op *core.Operation) {
+						op.UpdatedAt = op.UpdatedAt.Add(time.Nanosecond)
+					})
+					if err != nil {
+						// b.Fatal must not run on a RunParallel
+						// worker goroutine.
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStorePutBatch measures the amortised batch write path the
+// batch submission API rides on, at the batch size the acceptance
+// criteria use.
+func BenchmarkStorePutBatch(b *testing.B) {
+	const batchSize = 100
+	for _, impl := range benchImpls() {
+		b.Run(impl.name, func(b *testing.B) {
+			s := impl.mk()
+			ops := prepopulate(s, batchSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.PutBatch(ops)
+			}
+		})
+	}
+}
+
+// BenchmarkStoreList measures the merged snapshot over a populated
+// store; the sharded implementation pays a per-shard lock plus one
+// global sort.
+func BenchmarkStoreList(b *testing.B) {
+	for _, impl := range benchImpls() {
+		b.Run(impl.name, func(b *testing.B) {
+			s := impl.mk()
+			prepopulate(s, 4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := len(s.List()); got != 4096 {
+					b.Fatalf("List returned %d ops, want 4096", got)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,289 @@
+package engine
+
+// Conformance suite for the Store interface. Every implementation —
+// the single-mutex memStore and the sharded store at several shard
+// counts — must pass the identical contract: per-operation snapshot
+// semantics, atomic Update under contention, and newest-first List
+// ordering with a stable ID tie-break.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"opdaemon/internal/core"
+)
+
+// storeImpls enumerates every Store implementation under test.
+func storeImpls() []struct {
+	name string
+	mk   func() Store
+} {
+	return []struct {
+		name string
+		mk   func() Store
+	}{
+		{"mem", NewMemStore},
+		{"sharded-1", func() Store { return NewShardedStore(1) }},
+		{"sharded-8", func() Store { return NewShardedStore(8) }},
+		{"sharded-default", func() Store { return NewShardedStore(0) }},
+	}
+}
+
+func TestStoreConformance(t *testing.T) {
+	for _, impl := range storeImpls() {
+		t.Run(impl.name, func(t *testing.T) {
+			runStoreConformance(t, impl.mk)
+		})
+	}
+}
+
+// mkOp builds a minimal queued operation at the given creation time.
+func mkOp(id string, at time.Time) *core.Operation {
+	return &core.Operation{
+		ID:        id,
+		Kind:      "test",
+		Status:    core.StatusQueued,
+		CreatedAt: at,
+		UpdatedAt: at,
+	}
+}
+
+// runStoreConformance runs the full contract against fresh stores from
+// mk.
+func runStoreConformance(t *testing.T, mk func() Store) {
+	t0 := time.Unix(1000, 0)
+
+	t.Run("GetNotFound", func(t *testing.T) {
+		s := mk()
+		if _, err := s.Get("missing"); !errors.Is(err, core.ErrNotFound) {
+			t.Errorf("Get(missing) = %v, want ErrNotFound", err)
+		}
+	})
+
+	t.Run("UpdateNotFound", func(t *testing.T) {
+		s := mk()
+		err := s.Update("missing", func(*core.Operation) { t.Error("fn called for missing op") })
+		if !errors.Is(err, core.ErrNotFound) {
+			t.Errorf("Update(missing) = %v, want ErrNotFound", err)
+		}
+	})
+
+	t.Run("PutDoesNotRetainCaller", func(t *testing.T) {
+		s := mk()
+		op := mkOp("a", t0)
+		s.Put(op)
+		op.Status = core.StatusFailed // mutate after Put; store must hold a copy
+		got, err := s.Get("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Status != core.StatusQueued {
+			t.Errorf("stored op observed caller mutation: status = %s", got.Status)
+		}
+	})
+
+	t.Run("GetReturnsSnapshot", func(t *testing.T) {
+		s := mk()
+		s.Put(mkOp("a", t0))
+		first, err := s.Get("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		first.Status = core.StatusDone // mutate the snapshot; store must be unaffected
+		second, err := s.Get("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second.Status != core.StatusQueued {
+			t.Errorf("snapshot mutation leaked into store: status = %s", second.Status)
+		}
+	})
+
+	t.Run("ListReturnsSnapshots", func(t *testing.T) {
+		s := mk()
+		s.Put(mkOp("a", t0))
+		s.List()[0].Status = core.StatusFailed
+		got, err := s.Get("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Status != core.StatusQueued {
+			t.Errorf("List snapshot mutation leaked into store: status = %s", got.Status)
+		}
+	})
+
+	t.Run("PutBatchStoresAllAsCopies", func(t *testing.T) {
+		s := mk()
+		ops := make([]*core.Operation, 10)
+		for i := range ops {
+			ops[i] = mkOp(fmt.Sprintf("op-%02d", i), t0.Add(time.Duration(i)*time.Second))
+		}
+		s.PutBatch(ops)
+		if got := s.Len(); got != len(ops) {
+			t.Fatalf("Len after PutBatch = %d, want %d", got, len(ops))
+		}
+		ops[3].Status = core.StatusFailed // batch elements must have been copied
+		got, err := s.Get("op-03")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Status != core.StatusQueued {
+			t.Errorf("PutBatch retained caller pointer: status = %s", got.Status)
+		}
+	})
+
+	t.Run("PutReplaces", func(t *testing.T) {
+		s := mk()
+		s.Put(mkOp("a", t0))
+		replacement := mkOp("a", t0)
+		replacement.Status = core.StatusRunning
+		s.Put(replacement)
+		got, err := s.Get("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Status != core.StatusRunning {
+			t.Errorf("Put did not replace: status = %s", got.Status)
+		}
+		if s.Len() != 1 {
+			t.Errorf("Len after replace = %d, want 1", s.Len())
+		}
+	})
+
+	t.Run("ListNewestFirst", func(t *testing.T) {
+		s := mk()
+		// Insert out of order; two share a CreatedAt to exercise the
+		// ID tie-break.
+		s.Put(mkOp("mid-b", t0.Add(time.Second)))
+		s.Put(mkOp("old", t0))
+		s.Put(mkOp("new", t0.Add(2*time.Second)))
+		s.Put(mkOp("mid-a", t0.Add(time.Second)))
+		var ids []string
+		for _, op := range s.List() {
+			ids = append(ids, op.ID)
+		}
+		want := []string{"new", "mid-a", "mid-b", "old"}
+		if fmt.Sprint(ids) != fmt.Sprint(want) {
+			t.Errorf("List order = %v, want %v", ids, want)
+		}
+	})
+
+	t.Run("UpdateAtomicUnderContention", func(t *testing.T) {
+		s := mk()
+		s.Put(mkOp("ctr", t0))
+		const goroutines, updates = 8, 200
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < updates; i++ {
+					err := s.Update("ctr", func(op *core.Operation) {
+						// Read-modify-write; lost updates show up as a
+						// final time short of the expected total.
+						op.UpdatedAt = op.UpdatedAt.Add(time.Second)
+					})
+					if err != nil {
+						t.Errorf("Update: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		got, err := s.Get("ctr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := t0.Add(goroutines * updates * time.Second)
+		if !got.UpdatedAt.Equal(want) {
+			t.Errorf("UpdatedAt after %d atomic updates = %v, want %v (lost updates)",
+				goroutines*updates, got.UpdatedAt, want)
+		}
+	})
+
+	t.Run("DeleteIdempotent", func(t *testing.T) {
+		s := mk()
+		s.Put(mkOp("a", t0))
+		s.Delete("a")
+		if _, err := s.Get("a"); !errors.Is(err, core.ErrNotFound) {
+			t.Errorf("Get after Delete = %v, want ErrNotFound", err)
+		}
+		s.Delete("a") // deleting again must be a no-op
+		s.Delete("never-existed")
+		if s.Len() != 0 {
+			t.Errorf("Len after deletes = %d, want 0", s.Len())
+		}
+	})
+
+	t.Run("LenCountsEverything", func(t *testing.T) {
+		s := mk()
+		const n = 100
+		for i := 0; i < n; i++ {
+			s.Put(mkOp(fmt.Sprintf("op-%03d", i), t0.Add(time.Duration(i))))
+		}
+		if got := s.Len(); got != n {
+			t.Errorf("Len = %d, want %d", got, n)
+		}
+		if got := len(s.List()); got != n {
+			t.Errorf("len(List()) = %d, want %d", got, n)
+		}
+	})
+}
+
+func TestNewShardedStoreRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		want int
+	}{
+		{-1, DefaultShardCount},
+		{0, DefaultShardCount},
+		{1, 1},
+		{2, 2},
+		{3, 4},
+		{16, 16},
+		{17, 32},
+		{maxShardCount, maxShardCount},
+		{maxShardCount + 1, maxShardCount},
+		{1 << 62, maxShardCount}, // would overflow the round-up without the clamp
+	} {
+		s := NewShardedStore(tc.n).(*shardedStore)
+		if got := len(s.shards); got != tc.want {
+			t.Errorf("NewShardedStore(%d) has %d shards, want %d", tc.n, got, tc.want)
+		}
+		if s.mask != uint32(len(s.shards)-1) {
+			t.Errorf("NewShardedStore(%d) mask = %d, want %d", tc.n, s.mask, len(s.shards)-1)
+		}
+	}
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {9, 16}, {1000, 1024},
+	} {
+		if got := nextPowerOfTwo(tc.n); got != tc.want {
+			t.Errorf("nextPowerOfTwo(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestShardedStoreSpreadsKeys sanity-checks the hash: real IDs from
+// core.NewID must not collapse into a few shards.
+func TestShardedStoreSpreadsKeys(t *testing.T) {
+	s := NewShardedStore(8).(*shardedStore)
+	const n = 4096
+	counts := make([]int, len(s.shards))
+	for i := 0; i < n; i++ {
+		counts[s.shardIndex(core.NewID())]++
+	}
+	// Perfectly uniform would be 512 per shard; flag anything worse
+	// than a 4x skew, which would indicate a broken hash.
+	for i, c := range counts {
+		if c < n/len(counts)/4 || c > n/len(counts)*4 {
+			t.Errorf("shard %d holds %d of %d keys — hash is badly skewed (%v)", i, c, n, counts)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"hash/maphash"
+	"sync"
+
+	"opdaemon/internal/core"
+)
+
+// DefaultShardCount is the shard count NewShardedStore picks when the
+// caller passes n <= 0. Sixteen shards keep per-shard maps warm while
+// giving typical multi-core hosts enough lock granularity that
+// submitters and workers rarely collide.
+const DefaultShardCount = 16
+
+// shardedStore is a Store partitioned into power-of-two shards, each a
+// separately locked map. Operations are assigned to shards by a
+// maphash of their ID (per-process random seed), so goroutines
+// touching different operations almost always contend on different
+// locks. It implements the same snapshot and ordering semantics as
+// memStore; the conformance suite in store_conformance_test.go holds
+// both to the same contract.
+type shardedStore struct {
+	shards []*storeShard
+	// mask is len(shards)-1; with a power-of-two shard count,
+	// hash&mask selects a shard without a modulo.
+	mask uint32
+}
+
+// storeShard is one partition of a shardedStore: a mutex-guarded slice
+// of the ID space.
+type storeShard struct {
+	mu  sync.RWMutex
+	ops map[string]*core.Operation
+}
+
+// maxShardCount bounds the shard count. 2^16 shards is far beyond any
+// useful lock granularity, and the cap keeps the power-of-two
+// round-up below integer-overflow territory.
+const maxShardCount = 1 << 16
+
+// NewShardedStore returns an empty Store partitioned across n
+// hash-selected shards. n is rounded up to the next power of two so
+// shard selection is a bit mask; n <= 0 selects DefaultShardCount and
+// n > 65536 is clamped there. A single-shard store (n == 1) is
+// semantically identical to NewMemStore and useful as a baseline in
+// benchmarks.
+func NewShardedStore(n int) Store {
+	if n <= 0 {
+		n = DefaultShardCount
+	}
+	if n > maxShardCount {
+		n = maxShardCount
+	}
+	n = nextPowerOfTwo(n)
+	s := &shardedStore{
+		shards: make([]*storeShard, n),
+		mask:   uint32(n - 1),
+	}
+	for i := range s.shards {
+		s.shards[i] = &storeShard{ops: make(map[string]*core.Operation)}
+	}
+	return s
+}
+
+// nextPowerOfTwo returns the smallest power of two >= n, for n >= 1.
+func nextPowerOfTwo(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shard maps an operation ID to its partition.
+func (s *shardedStore) shard(id string) *storeShard {
+	return s.shards[s.shardIndex(id)]
+}
+
+func (s *shardedStore) Put(op *core.Operation) {
+	// Clone outside the critical section: the copy is per-operation
+	// work, only the map assignment needs the lock.
+	c := op.Clone()
+	sh := s.shard(c.ID)
+	sh.mu.Lock()
+	sh.ops[c.ID] = c
+	sh.mu.Unlock()
+}
+
+func (s *shardedStore) PutBatch(ops []*core.Operation) {
+	// Single-op batches (every Submit routes through here) skip the
+	// bucket table — its O(shard-count) allocation would dominate
+	// the hot path it exists to amortise.
+	if len(ops) == 1 {
+		s.Put(ops[0])
+		return
+	}
+	// Clone and group by shard outside any lock, then take each
+	// shard's lock at most once per batch instead of once per
+	// operation.
+	buckets := make([][]*core.Operation, len(s.shards))
+	for _, op := range ops {
+		i := s.shardIndex(op.ID)
+		buckets[i] = append(buckets[i], op.Clone())
+	}
+	for i, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		sh := s.shards[i]
+		sh.mu.Lock()
+		for _, c := range bucket {
+			sh.ops[c.ID] = c
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// shardSeed keys the shard hash. One process-wide random seed keeps
+// shard assignment stable for the process lifetime while preventing an
+// external party from predicting (and deliberately skewing) the
+// distribution.
+var shardSeed = maphash.MakeSeed()
+
+// shardIndex hashes an operation ID to a shard index using the
+// runtime's maphash — the same hardware-accelerated, allocation-free
+// hash Go maps use, so shard selection costs single-digit nanoseconds
+// even for long keys.
+func (s *shardedStore) shardIndex(id string) int {
+	return int(uint32(maphash.String(shardSeed, id)) & s.mask)
+}
+
+func (s *shardedStore) Get(id string) (*core.Operation, error) {
+	// Allocate the snapshot before taking the lock so the critical
+	// section is a fixed-size copy, never a trip through the
+	// allocator (which can stall on GC assist).
+	out := new(core.Operation)
+	sh := s.shard(id)
+	sh.mu.RLock()
+	op, ok := sh.ops[id]
+	if ok {
+		*out = *op
+	}
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, core.ErrNotFound
+	}
+	return out, nil
+}
+
+func (s *shardedStore) List() []*core.Operation {
+	// Snapshot shard by shard; List is not a point-in-time snapshot
+	// across shards (an op stored concurrently may or may not appear),
+	// matching the interface contract which only promises per-op
+	// snapshots.
+	out := make([]*core.Operation, 0, s.Len())
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, op := range sh.ops {
+			out = append(out, op.Clone())
+		}
+		sh.mu.RUnlock()
+	}
+	sortNewestFirst(out)
+	return out
+}
+
+func (s *shardedStore) Update(id string, fn func(op *core.Operation)) error {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	op, ok := sh.ops[id]
+	if !ok {
+		return core.ErrNotFound
+	}
+	fn(op)
+	return nil
+}
+
+func (s *shardedStore) Delete(id string) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.ops, id)
+}
+
+func (s *shardedStore) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.ops)
+		sh.mu.RUnlock()
+	}
+	return n
+}
