@@ -7,7 +7,11 @@ GO ?= go
 BENCHTIME ?= 300ms
 BENCHCPU ?= 8
 
-.PHONY: all build test vet fmt-check fmt bench
+# Pinned staticcheck release; `go run` fetches exactly this version so
+# CI and developers lint with identical rules. Bump deliberately.
+STATICCHECK_VERSION ?= 2025.1
+
+.PHONY: all build test vet fmt-check fmt bench staticcheck
 
 all: build vet fmt-check test
 
@@ -19,6 +23,11 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Needs module-proxy network access on first run (the binary is cached
+# afterwards); offline sandboxes should rely on the CI step instead.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -cpu=$(BENCHCPU) -run '^$$' ./internal/engine/

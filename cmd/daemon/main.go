@@ -1,6 +1,10 @@
 // Command daemon wires the operation engine to the v1 HTTP API and
 // runs until interrupted, then drains in-flight operations before
-// exiting.
+// exiting. Past the drain deadline, every still-running operation's
+// context is cancelled — the same signal DELETE /v1/operations/{id}
+// delivers — and the process exits without waiting for handlers to
+// unwind; an operation mid-unwind at that point never records its
+// terminal state.
 package main
 
 import (
@@ -20,35 +24,57 @@ import (
 	"opdaemon/internal/engine"
 )
 
+// daemonConfig collects every tunable so run stays testable and the
+// flag list has one home.
+type daemonConfig struct {
+	addr            string
+	workers         int
+	queueDepth      int
+	storeShards     int
+	drainTimeout    time.Duration
+	opTTL           time.Duration
+	gcInterval      time.Duration
+	defaultDeadline time.Duration
+}
+
 func main() {
-	var (
-		addr         = flag.String("addr", "127.0.0.1:8712", "listen address")
-		workers      = flag.Int("workers", 8, "concurrent operation workers")
-		queueDepth   = flag.Int("queue-depth", 1024, "max queued operations")
-		storeShards  = flag.Int("store-shards", engine.DefaultShardCount, "operation store shard count, rounded up to a power of two (<=1 selects the unsharded single-mutex store)")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain operations on shutdown")
-	)
+	var cfg daemonConfig
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8712", "listen address")
+	flag.IntVar(&cfg.workers, "workers", 8, "concurrent operation workers")
+	flag.IntVar(&cfg.queueDepth, "queue-depth", 1024, "max queued operations")
+	flag.IntVar(&cfg.storeShards, "store-shards", engine.DefaultShardCount, "operation store shard count, rounded up to a power of two (<=1 selects the unsharded single-mutex store)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "max time to drain operations on shutdown")
+	flag.DurationVar(&cfg.opTTL, "op-ttl", 0, "retention for terminal operations; 0 keeps them forever, >0 starts a janitor that evicts older ones")
+	flag.DurationVar(&cfg.gcInterval, "gc-interval", 0, "how often the janitor sweeps (default op-ttl/2, min 1s); ignored when -op-ttl is 0")
+	flag.DurationVar(&cfg.defaultDeadline, "default-deadline", 0, "execution deadline for kinds registered without their own; 0 means unbounded")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queueDepth, *storeShards, *drainTimeout); err != nil {
+	if err := run(cfg); err != nil {
 		log.Fatalf("daemon: %v", err)
 	}
 }
 
 // run wires the engine, store, and HTTP server together and blocks
 // until a signal triggers the drain sequence.
-func run(addr string, workers, queueDepth, storeShards int, drainTimeout time.Duration) error {
+func run(cfg daemonConfig) error {
 	var store engine.Store
-	if storeShards <= 1 {
+	if cfg.storeShards <= 1 {
 		store = engine.NewMemStore()
 	} else {
-		store = engine.NewShardedStore(storeShards)
+		store = engine.NewShardedStore(cfg.storeShards)
 	}
-	eng := engine.New(engine.Config{Workers: workers, QueueDepth: queueDepth, Store: store})
+	eng := engine.New(engine.Config{
+		Workers:         cfg.workers,
+		QueueDepth:      cfg.queueDepth,
+		Store:           store,
+		OpTTL:           cfg.opTTL,
+		GCInterval:      cfg.gcInterval,
+		DefaultDeadline: cfg.defaultDeadline,
+	})
 	registerBuiltins(eng)
 
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           api.New(eng),
 		ReadHeaderTimeout: 5 * time.Second,
 		// Bound request reads, response writes, and idle keep-alives
@@ -64,7 +90,8 @@ func run(addr string, workers, queueDepth, storeShards int, drainTimeout time.Du
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("daemon: listening on http://%s (workers=%d queue=%d shards=%d)", addr, workers, queueDepth, storeShards)
+		log.Printf("daemon: listening on http://%s (workers=%d queue=%d shards=%d ttl=%s)",
+			cfg.addr, cfg.workers, cfg.queueDepth, cfg.storeShards, cfg.opTTL)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
@@ -83,13 +110,18 @@ func run(addr string, workers, queueDepth, storeShards int, drainTimeout time.Du
 
 	// HTTP shutdown and engine drain get separate budgets so a
 	// stalled client connection cannot starve operation draining.
-	log.Printf("daemon: shutting down, draining for up to %s", drainTimeout)
-	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), drainTimeout)
+	// When the drain budget expires, engine.Shutdown cancels every
+	// in-flight operation's context — the per-operation cancellation
+	// path — and returns immediately; the process then exits without
+	// waiting for handlers to unwind, so the budget must cover any
+	// terminal-state bookkeeping that matters.
+	log.Printf("daemon: shutting down, draining for up to %s", cfg.drainTimeout)
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancelHTTP()
 	if err := srv.Shutdown(httpCtx); err != nil {
 		log.Printf("daemon: http shutdown: %v", err)
 	}
-	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancelDrain()
 	if err := eng.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("draining engine: %w", err)
@@ -108,6 +140,8 @@ func registerBuiltins(eng *engine.Engine) {
 	eng.Register("echo", func(_ context.Context, op *core.Operation) (any, error) {
 		return op.Params, nil
 	})
+	// sleep sleeps at most 60s, so its 90s deadline only fires for a
+	// wedged handler; it doubles as the reference for WithDeadline.
 	eng.Register("sleep", func(ctx context.Context, op *core.Operation) (any, error) {
 		ms, ok := op.Params["ms"].(float64)
 		if !ok || ms < 0 || ms > 60_000 {
@@ -119,7 +153,7 @@ func registerBuiltins(eng *engine.Engine) {
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
-	})
+	}, engine.WithDeadline(90*time.Second))
 	eng.Register("fail", func(context.Context, *core.Operation) (any, error) {
 		return nil, errors.New("operation failed on request")
 	})

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:8712 -concurrency 16 -duration 10s \
-//	        -batch 10 -kinds noop=3,echo=1
+//	        -batch 10 -kinds noop=3,echo=1 -cancel-frac 0.1
 //
 // Each worker goroutine loops until the duration expires: it picks
 // operation kinds from the weighted mix, submits them (as a single
@@ -15,6 +15,12 @@
 // request latency. Latency covers submission only — the daemon
 // acknowledges with 202 before executing — so the numbers isolate the
 // API + store + queue path that batching and sharding optimise.
+//
+// With -cancel-frac > 0, each accepted operation is cancelled via
+// DELETE /v1/operations/{id} with that probability, and the report
+// breaks down cancel outcomes: 202 (cancel accepted) vs 409 (the
+// operation won the race and finished first). This exercises the
+// daemon's cancellation path under the same load as submission.
 package main
 
 import (
@@ -44,10 +50,11 @@ func main() {
 		params      = flag.String("params", "", "optional JSON object sent as params with every operation")
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-request timeout")
 		seed        = flag.Int64("seed", 1, "seed for the kind-mix random source")
+		cancelFrac  = flag.Float64("cancel-frac", 0, "fraction (0..1) of accepted operations to cancel via DELETE")
 	)
 	flag.Parse()
 
-	cfg, err := newRunConfig(*addr, *concurrency, *duration, *batch, *kinds, *params, *timeout)
+	cfg, err := newRunConfig(*addr, *concurrency, *duration, *batch, *kinds, *params, *timeout, *cancelFrac)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(2)
@@ -69,11 +76,12 @@ type runConfig struct {
 	mix         kindMix
 	params      map[string]any
 	timeout     time.Duration
+	cancelFrac  float64
 }
 
 // newRunConfig validates flags into a runConfig, rejecting values that
 // would make the run meaningless (zero concurrency, empty mix, ...).
-func newRunConfig(addr string, concurrency int, duration time.Duration, batch int, kinds, params string, timeout time.Duration) (*runConfig, error) {
+func newRunConfig(addr string, concurrency int, duration time.Duration, batch int, kinds, params string, timeout time.Duration, cancelFrac float64) (*runConfig, error) {
 	if concurrency < 1 {
 		return nil, fmt.Errorf("concurrency must be >= 1, got %d", concurrency)
 	}
@@ -82,6 +90,9 @@ func newRunConfig(addr string, concurrency int, duration time.Duration, batch in
 	}
 	if duration <= 0 {
 		return nil, fmt.Errorf("duration must be positive, got %s", duration)
+	}
+	if cancelFrac < 0 || cancelFrac > 1 {
+		return nil, fmt.Errorf("cancel-frac must be within [0, 1], got %g", cancelFrac)
 	}
 	mix, err := parseKindMix(kinds)
 	if err != nil {
@@ -101,6 +112,7 @@ func newRunConfig(addr string, concurrency int, duration time.Duration, batch in
 		mix:         mix,
 		params:      p,
 		timeout:     timeout,
+		cancelFrac:  cancelFrac,
 	}, nil
 }
 
@@ -177,21 +189,29 @@ type submitRequest struct {
 // workerStats accumulates one worker's measurements; workers never
 // share stats, so the hot loop takes no locks.
 type workerStats struct {
-	latencies     []time.Duration
-	requests      int64
-	accepted      int64
-	codes         map[int]int64
-	transportErrs int64
+	latencies       []time.Duration
+	requests        int64
+	accepted        int64
+	codes           map[int]int64
+	transportErrs   int64
+	cancelRequested int64
+	cancelled       int64
+	cancelConflicts int64
+	cancelErrs      int64
 }
 
 // report is the merged result of a run.
 type report struct {
-	elapsed       time.Duration
-	requests      int64
-	accepted      int64
-	latencies     []time.Duration
-	codes         map[int]int64
-	transportErrs int64
+	elapsed         time.Duration
+	requests        int64
+	accepted        int64
+	latencies       []time.Duration
+	codes           map[int]int64
+	transportErrs   int64
+	cancelRequested int64
+	cancelled       int64
+	cancelConflicts int64
+	cancelErrs      int64
 }
 
 // run fires cfg.concurrency workers at the daemon until the duration
@@ -227,6 +247,10 @@ func (cfg *runConfig) run(seed int64) *report {
 		merged.requests += ws.requests
 		merged.accepted += ws.accepted
 		merged.transportErrs += ws.transportErrs
+		merged.cancelRequested += ws.cancelRequested
+		merged.cancelled += ws.cancelled
+		merged.cancelConflicts += ws.cancelConflicts
+		merged.cancelErrs += ws.cancelErrs
 		merged.latencies = append(merged.latencies, ws.latencies...)
 		for code, n := range ws.codes {
 			merged.codes[code] += n
@@ -257,7 +281,15 @@ func (cfg *runConfig) worker(client *http.Client, ws *workerStats, deadline time
 			ws.transportErrs++
 			continue
 		}
-		io.Copy(io.Discard, resp.Body)
+		// The reply body is only needed when cancellation must learn
+		// the accepted IDs; otherwise drain it unread to keep the
+		// submission hot loop allocation-light.
+		var replyBody []byte
+		if cfg.cancelFrac > 0 && resp.StatusCode == http.StatusAccepted {
+			replyBody, _ = io.ReadAll(resp.Body)
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
 		resp.Body.Close()
 		ws.latencies = append(ws.latencies, took)
 		ws.codes[resp.StatusCode]++
@@ -265,8 +297,87 @@ func (cfg *runConfig) worker(client *http.Client, ws *workerStats, deadline time
 			// Batch validation is atomic, so a 202 means every item
 			// was accepted.
 			ws.accepted += int64(cfg.batch)
+			if cfg.cancelFrac > 0 {
+				cfg.cancelSome(client, ws, r, replyBody)
+			}
 		}
 	}
+}
+
+// cancelSome draws each accepted ID against the cancel fraction and
+// issues DELETE for the selected ones, tallying the outcomes.
+func (cfg *runConfig) cancelSome(client *http.Client, ws *workerStats, r *rand.Rand, replyBody []byte) {
+	ids, err := extractIDs(replyBody, cfg.batch > 1)
+	if err != nil {
+		ws.cancelErrs++
+		return
+	}
+	for _, id := range ids {
+		if r.Float64() >= cfg.cancelFrac {
+			continue
+		}
+		ws.cancelRequested++
+		req, err := http.NewRequest(http.MethodDelete, cfg.url+"/"+id, nil)
+		if err != nil {
+			ws.cancelErrs++
+			continue
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			ws.cancelErrs++
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			ws.cancelled++
+		case http.StatusConflict:
+			// The operation reached a terminal state before the
+			// cancel landed — expected under load, not an error.
+			ws.cancelConflicts++
+		default:
+			ws.cancelErrs++
+		}
+	}
+}
+
+// submitReplyOp is the slice of an operation snapshot loadgen needs.
+type submitReplyOp struct {
+	ID string `json:"id"`
+}
+
+// extractIDs pulls the accepted operation IDs out of a 202 reply body:
+// the single envelope's result for object submissions, each per-item
+// envelope's result for batch submissions.
+func extractIDs(body []byte, batch bool) ([]string, error) {
+	if batch {
+		var reply struct {
+			Result []struct {
+				Result submitReplyOp `json:"result"`
+			} `json:"result"`
+		}
+		if err := json.Unmarshal(body, &reply); err != nil {
+			return nil, fmt.Errorf("parsing batch reply: %w", err)
+		}
+		ids := make([]string, 0, len(reply.Result))
+		for _, item := range reply.Result {
+			if item.Result.ID != "" {
+				ids = append(ids, item.Result.ID)
+			}
+		}
+		return ids, nil
+	}
+	var reply struct {
+		Result submitReplyOp `json:"result"`
+	}
+	if err := json.Unmarshal(body, &reply); err != nil {
+		return nil, fmt.Errorf("parsing reply: %w", err)
+	}
+	if reply.Result.ID == "" {
+		return nil, nil
+	}
+	return []string{reply.Result.ID}, nil
 }
 
 // buildBody marshals the next request: a single object at batch size
@@ -320,6 +431,13 @@ func (rep *report) format(cfg *runConfig) string {
 	sort.Ints(codes)
 	for _, code := range codes {
 		fmt.Fprintf(&b, "http %d:   %d\n", code, rep.codes[code])
+	}
+	if rep.cancelRequested > 0 || cfg.cancelFrac > 0 {
+		fmt.Fprintf(&b, "cancels:    %d requested, %d cancelled (202), %d conflict (409)\n",
+			rep.cancelRequested, rep.cancelled, rep.cancelConflicts)
+		if rep.cancelErrs > 0 {
+			fmt.Fprintf(&b, "cancel errors: %d\n", rep.cancelErrs)
+		}
 	}
 	if rep.transportErrs > 0 {
 		fmt.Fprintf(&b, "transport errors: %d\n", rep.transportErrs)

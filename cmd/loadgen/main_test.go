@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -126,7 +127,7 @@ func TestRunAgainstStubDaemon(t *testing.T) {
 	defer srv.Close()
 
 	addr := strings.TrimPrefix(srv.URL, "http://")
-	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 4, "noop=1", "", time.Second)
+	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 4, "noop=1", "", time.Second, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,15 +156,100 @@ func TestNewRunConfigValidation(t *testing.T) {
 		duration    time.Duration
 		kinds       string
 		params      string
+		cancelFrac  float64
 	}{
-		"zero concurrency": {0, 1, time.Second, "noop=1", ""},
-		"zero batch":       {1, 0, time.Second, "noop=1", ""},
-		"zero duration":    {1, 1, 0, "noop=1", ""},
-		"bad mix":          {1, 1, time.Second, "noop=zero", ""},
-		"bad params":       {1, 1, time.Second, "noop=1", "{not json"},
+		"zero concurrency":     {0, 1, time.Second, "noop=1", "", 0},
+		"zero batch":           {1, 0, time.Second, "noop=1", "", 0},
+		"zero duration":        {1, 1, 0, "noop=1", "", 0},
+		"bad mix":              {1, 1, time.Second, "noop=zero", "", 0},
+		"bad params":           {1, 1, time.Second, "noop=1", "{not json", 0},
+		"negative cancel frac": {1, 1, time.Second, "noop=1", "", -0.1},
+		"cancel frac over one": {1, 1, time.Second, "noop=1", "", 1.5},
 	} {
-		if _, err := newRunConfig("x", tc.concurrency, tc.duration, tc.batch, tc.kinds, tc.params, time.Second); err == nil {
+		if _, err := newRunConfig("x", tc.concurrency, tc.duration, tc.batch, tc.kinds, tc.params, time.Second, tc.cancelFrac); err == nil {
 			t.Errorf("%s: newRunConfig accepted invalid input", name)
 		}
+	}
+}
+
+func TestExtractIDs(t *testing.T) {
+	single := `{"type":"async","status_code":202,"result":{"id":"aaa","kind":"noop","status":"queued"}}`
+	ids, err := extractIDs([]byte(single), false)
+	if err != nil {
+		t.Fatalf("extractIDs(single): %v", err)
+	}
+	if len(ids) != 1 || ids[0] != "aaa" {
+		t.Errorf("single ids = %v, want [aaa]", ids)
+	}
+
+	batch := `{"type":"async","status_code":202,"result":[
+		{"type":"async","location":"/v1/operations/aaa","result":{"id":"aaa"}},
+		{"type":"async","location":"/v1/operations/bbb","result":{"id":"bbb"}}]}`
+	ids, err = extractIDs([]byte(batch), true)
+	if err != nil {
+		t.Fatalf("extractIDs(batch): %v", err)
+	}
+	if len(ids) != 2 || ids[0] != "aaa" || ids[1] != "bbb" {
+		t.Errorf("batch ids = %v, want [aaa bbb]", ids)
+	}
+
+	if _, err := extractIDs([]byte(`{truncated`), false); err == nil {
+		t.Error("extractIDs accepted malformed JSON")
+	}
+}
+
+// TestRunWithCancelFrac drives a stub daemon that accepts every
+// submission and alternates cancel outcomes, checking the counters
+// land in the right buckets.
+func TestRunWithCancelFrac(t *testing.T) {
+	var mu sync.Mutex
+	deletes := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodDelete {
+			mu.Lock()
+			deletes++
+			conflict := deletes%2 == 0
+			mu.Unlock()
+			if conflict {
+				w.WriteHeader(http.StatusConflict)
+				w.Write([]byte(`{"type":"error","status_code":409,"result":{"message":"operation already in a terminal state"}}`))
+				return
+			}
+			w.WriteHeader(http.StatusAccepted)
+			w.Write([]byte(`{"type":"async","status_code":202,"result":{"id":"x","status":"cancelled"}}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"type":"async","status_code":202,"result":{"id":"x","kind":"noop","status":"queued"}}`))
+	}))
+	defer srv.Close()
+
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 1, "noop=1", "", time.Second, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := cfg.run(1)
+	if rep.requests == 0 {
+		t.Fatal("run made no requests")
+	}
+	// cancel-frac=1 cancels every accepted op exactly once.
+	if rep.cancelRequested != rep.accepted {
+		t.Errorf("cancelRequested = %d, want accepted = %d", rep.cancelRequested, rep.accepted)
+	}
+	if rep.cancelled+rep.cancelConflicts != rep.cancelRequested {
+		t.Errorf("cancelled %d + conflicts %d != requested %d",
+			rep.cancelled, rep.cancelConflicts, rep.cancelRequested)
+	}
+	if rep.cancelled == 0 || rep.cancelConflicts == 0 {
+		t.Errorf("alternating stub yielded cancelled=%d conflicts=%d, want both nonzero",
+			rep.cancelled, rep.cancelConflicts)
+	}
+	if rep.cancelErrs != 0 {
+		t.Errorf("cancel errors = %d, want 0", rep.cancelErrs)
+	}
+	out := rep.format(cfg)
+	if !strings.Contains(out, "cancels:") {
+		t.Errorf("report missing cancels line:\n%s", out)
 	}
 }

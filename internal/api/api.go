@@ -10,6 +10,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 
 	"opdaemon/internal/core"
 	"opdaemon/internal/engine"
@@ -32,11 +33,12 @@ func New(e *engine.Engine) *Server {
 	s.mux.HandleFunc("POST /v1/operations", s.submit)
 	s.mux.HandleFunc("GET /v1/operations", s.list)
 	s.mux.HandleFunc("GET /v1/operations/{id}", s.get)
+	s.mux.HandleFunc("DELETE /v1/operations/{id}", s.cancel)
 	// Method-less fallbacks so a wrong verb on a known path yields a
 	// 405 envelope instead of falling through to the 404 handler.
 	s.mux.HandleFunc("/v1/health", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/v1/operations", methodNotAllowed("GET, POST"))
-	s.mux.HandleFunc("/v1/operations/{id}", methodNotAllowed("GET"))
+	s.mux.HandleFunc("/v1/operations/{id}", methodNotAllowed("GET, DELETE"))
 	s.mux.HandleFunc("/", s.notFound)
 	return s
 }
@@ -47,9 +49,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
+	// Saturation numbers ride along with the liveness bit so loadgen
+	// and operators can see queue pressure without a metrics stack.
+	st := s.engine.Stats()
 	writeSync(w, http.StatusOK, map[string]any{
-		"healthy": true,
-		"kinds":   s.engine.Kinds(),
+		"healthy":        true,
+		"kinds":          s.engine.Kinds(),
+		"workers":        st.Workers,
+		"queue_depth":    st.QueueDepth,
+		"queue_capacity": st.QueueCapacity,
+		"store_len":      st.StoreLen,
 	})
 }
 
@@ -139,13 +148,41 @@ func (s *Server) get(w http.ResponseWriter, r *http.Request) {
 	writeSync(w, http.StatusOK, op)
 }
 
+// cancel aborts the operation: queued operations go straight to
+// cancelled, running ones have their context cancelled and settle as
+// cancelled once the handler returns. Cancellation is asynchronous, so
+// the reply is an async envelope whose Location is the poll URL.
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	op, err := s.engine.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeAsync(w, resourcePath(op), op)
+}
+
 func (s *Server) list(w http.ResponseWriter, r *http.Request) {
 	status := core.Status(r.URL.Query().Get("status"))
 	if status != "" && !status.Valid() {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown status filter %q", status))
 		return
 	}
-	writeSync(w, http.StatusOK, s.engine.List(status))
+	// limit caps the reply at the N newest matches; absent means
+	// unbounded, for compatibility with pre-limit clients.
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("limit must be a positive integer, got %q", raw))
+			return
+		}
+		limit = n
+	}
+	ops := s.engine.List(status)
+	if limit > 0 && len(ops) > limit {
+		ops = ops[:limit]
+	}
+	writeSync(w, http.StatusOK, ops)
 }
 
 // resourcePath is the poll URL for an operation; it lives here, next
@@ -178,6 +215,8 @@ func writeEngineError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusBadRequest, err.Error())
 	case errors.Is(err, core.ErrNotFound):
 		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, core.ErrAlreadyTerminal):
+		writeError(w, http.StatusConflict, err.Error())
 	case errors.Is(err, core.ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, core.ErrQueueFull):

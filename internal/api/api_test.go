@@ -91,6 +91,19 @@ func TestHealth(t *testing.T) {
 	if !ok || result["healthy"] != true {
 		t.Errorf("health result = %v, want healthy=true", resp.Result)
 	}
+	// Saturation fields: the test engine runs 2 workers, default
+	// queue, empty store.
+	if got, _ := result["workers"].(float64); int(got) != 2 {
+		t.Errorf("health workers = %v, want 2", result["workers"])
+	}
+	if got, _ := result["queue_capacity"].(float64); got <= 0 {
+		t.Errorf("health queue_capacity = %v, want positive", result["queue_capacity"])
+	}
+	for _, key := range []string{"queue_depth", "store_len"} {
+		if got, ok := result[key].(float64); !ok || got != 0 {
+			t.Errorf("health %s = %v, want 0 on an idle engine", key, result[key])
+		}
+	}
 }
 
 func TestSubmitReturnsAsyncEnvelope(t *testing.T) {
@@ -364,6 +377,109 @@ func TestListFilters(t *testing.T) {
 	}
 	if got := ops[0].(map[string]any)["id"]; got != badID {
 		t.Errorf("failed list contains %v, want %s", got, badID)
+	}
+}
+
+func TestCancelQueuedOverHTTP(t *testing.T) {
+	s, e := newTestServer(t)
+	// One extra blocking kind and a saturated worker pool keep the
+	// target operation queued while we cancel it.
+	release := make(chan struct{})
+	defer close(release)
+	e.Register("block", func(context.Context, *core.Operation) (any, error) {
+		<-release
+		return nil, nil
+	})
+	for i := 0; i < 2; i++ { // the test engine has 2 workers
+		if _, resp := doJSON(t, s, "POST", "/v1/operations", `{"kind":"block"}`); resp.Type != "async" {
+			t.Fatalf("blocker %d not accepted: %+v", i, resp)
+		}
+	}
+	_, sub := doJSON(t, s, "POST", "/v1/operations", `{"kind":"echo"}`)
+	id := sub.Result.(map[string]any)["id"].(string)
+
+	w, resp := doJSON(t, s, "DELETE", "/v1/operations/"+id, "")
+	checkEnvelope(t, w, resp, "async", http.StatusAccepted)
+	if loc := w.Header().Get("Location"); loc != "/v1/operations/"+id {
+		t.Errorf("Location = %q, want the poll URL", loc)
+	}
+	op := resp.Result.(map[string]any)
+	if op["status"] != string(core.StatusCancelled) {
+		t.Errorf("cancelled queued op status = %v, want cancelled immediately", op["status"])
+	}
+	if op["cancelled_at"] == nil {
+		t.Error("cancelled op reply has no cancelled_at")
+	}
+
+	// A second DELETE hits an already-terminal operation: 409.
+	w, resp = doJSON(t, s, "DELETE", "/v1/operations/"+id, "")
+	checkEnvelope(t, w, resp, "error", http.StatusConflict)
+}
+
+func TestCancelRunningOverHTTP(t *testing.T) {
+	s, e := newTestServer(t)
+	started := make(chan struct{})
+	e.Register("hang", func(ctx context.Context, _ *core.Operation) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	_, sub := doJSON(t, s, "POST", "/v1/operations", `{"kind":"hang"}`)
+	id := sub.Result.(map[string]any)["id"].(string)
+	<-started
+
+	w, resp := doJSON(t, s, "DELETE", "/v1/operations/"+id, "")
+	checkEnvelope(t, w, resp, "async", http.StatusAccepted)
+	if final := waitTerminal(t, e, id); final.Status != core.StatusCancelled {
+		t.Errorf("final status = %s (%s), want cancelled", final.Status, final.Error)
+	}
+}
+
+func TestCancelUnknownIs404(t *testing.T) {
+	s, _ := newTestServer(t)
+	w, resp := doJSON(t, s, "DELETE", "/v1/operations/deadbeef", "")
+	checkEnvelope(t, w, resp, "error", http.StatusNotFound)
+}
+
+func TestListLimit(t *testing.T) {
+	s, e := newTestServer(t)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		_, resp := doJSON(t, s, "POST", "/v1/operations", `{"kind":"echo"}`)
+		ids = append(ids, resp.Result.(map[string]any)["id"].(string))
+	}
+	for _, id := range ids {
+		waitTerminal(t, e, id)
+	}
+
+	w, resp := doJSON(t, s, "GET", "/v1/operations?limit=2", "")
+	checkEnvelope(t, w, resp, "sync", http.StatusOK)
+	if ops := resp.Result.([]any); len(ops) != 2 {
+		t.Errorf("limit=2 returned %d ops, want 2", len(ops))
+	}
+	// A limit beyond the store size returns everything.
+	_, resp = doJSON(t, s, "GET", "/v1/operations?limit=100", "")
+	if ops := resp.Result.([]any); len(ops) != 5 {
+		t.Errorf("limit=100 returned %d ops, want all 5", len(ops))
+	}
+	// Limit composes with the status filter.
+	_, resp = doJSON(t, s, "GET", "/v1/operations?status=done&limit=3", "")
+	if ops := resp.Result.([]any); len(ops) != 3 {
+		t.Errorf("status=done&limit=3 returned %d ops, want 3", len(ops))
+	}
+
+	for _, bad := range []string{"0", "-1", "x", "1.5"} {
+		w, resp := doJSON(t, s, "GET", "/v1/operations?limit="+bad, "")
+		checkEnvelope(t, w, resp, "error", http.StatusBadRequest)
+	}
+}
+
+func TestWrongMethodOnOperationSetsAllowHeader(t *testing.T) {
+	s, _ := newTestServer(t)
+	w, resp := doJSON(t, s, "PATCH", "/v1/operations/abc", "")
+	checkEnvelope(t, w, resp, "error", http.StatusMethodNotAllowed)
+	if got := w.Header().Get("Allow"); got != "GET, DELETE" {
+		t.Errorf("Allow header = %q, want %q", got, "GET, DELETE")
 	}
 }
 

@@ -4,7 +4,8 @@
 //
 // An Operation moves through the lifecycle
 //
-//	queued → running → done | failed
+//	queued → running → done | failed | cancelled
+//	queued → failed | cancelled
 //
 // and never transitions out of a terminal state. The engine owns the
 // transitions; the API layer only reads snapshots.
@@ -32,17 +33,21 @@ const (
 	StatusDone Status = "done"
 	// StatusFailed means the operation finished with an error.
 	StatusFailed Status = "failed"
+	// StatusCancelled means the operation was aborted on request:
+	// either before it ever ran (cancelled while queued) or by
+	// cancelling its context while running.
+	StatusCancelled Status = "cancelled"
 )
 
 // Terminal reports whether the status is a final state.
 func (s Status) Terminal() bool {
-	return s == StatusDone || s == StatusFailed
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
 }
 
 // Valid reports whether s is one of the known lifecycle states.
 func (s Status) Valid() bool {
 	switch s {
-	case StatusQueued, StatusRunning, StatusDone, StatusFailed:
+	case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled:
 		return true
 	}
 	return false
@@ -53,9 +58,9 @@ func (s Status) Valid() bool {
 func (s Status) CanTransition(next Status) bool {
 	switch s {
 	case StatusQueued:
-		return next == StatusRunning || next == StatusFailed
+		return next == StatusRunning || next == StatusFailed || next == StatusCancelled
 	case StatusRunning:
-		return next == StatusDone || next == StatusFailed
+		return next == StatusDone || next == StatusFailed || next == StatusCancelled
 	}
 	return false
 }
@@ -67,14 +72,21 @@ func (s Status) CanTransition(next Status) bool {
 // returning an unrepresentable value fails that one operation instead
 // of poisoning every API response that would embed it.
 type Operation struct {
-	ID        string          `json:"id"`
-	Kind      string          `json:"kind"`
-	Params    map[string]any  `json:"params,omitempty"`
-	Status    Status          `json:"status"`
-	Result    json.RawMessage `json:"result,omitempty"`
-	Error     string          `json:"error,omitempty"`
-	CreatedAt time.Time       `json:"created_at"`
-	UpdatedAt time.Time       `json:"updated_at"`
+	ID     string          `json:"id"`
+	Kind   string          `json:"kind"`
+	Params map[string]any  `json:"params,omitempty"`
+	Status Status          `json:"status"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	// Deadline is the execution time budget fixed at submission (the
+	// kind's registered deadline, or the engine default). Zero means
+	// the handler runs unbounded. The suffix names the JSON unit.
+	Deadline  time.Duration `json:"deadline_ns,omitempty"`
+	CreatedAt time.Time     `json:"created_at"`
+	UpdatedAt time.Time     `json:"updated_at"`
+	// CancelledAt is when cancellation was requested, set only on
+	// operations that end up cancelled.
+	CancelledAt time.Time `json:"cancelled_at,omitzero"`
 }
 
 // Clone returns a shallow copy of the operation safe to hand to another
@@ -96,6 +108,14 @@ var (
 	ErrShuttingDown = errors.New("engine is shutting down")
 	// ErrQueueFull means the submission queue is at capacity.
 	ErrQueueFull = errors.New("operation queue is full")
+	// ErrAlreadyTerminal means the operation has already reached a
+	// terminal state and can no longer be cancelled.
+	ErrAlreadyTerminal = errors.New("operation already in a terminal state")
+	// ErrCancelled is the cancellation cause attached to an
+	// operation's context when a client aborts it; handlers and the
+	// engine use it to tell a requested cancel from a shutdown or
+	// deadline.
+	ErrCancelled = errors.New("operation cancelled")
 )
 
 // InvalidError describes a request that is malformed before it ever

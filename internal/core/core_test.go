@@ -14,6 +14,7 @@ func TestStatusTerminal(t *testing.T) {
 		{StatusRunning, false},
 		{StatusDone, true},
 		{StatusFailed, true},
+		{StatusCancelled, true},
 	} {
 		if got := tc.status.Terminal(); got != tc.terminal {
 			t.Errorf("%s.Terminal() = %v, want %v", tc.status, got, tc.terminal)
@@ -22,7 +23,7 @@ func TestStatusTerminal(t *testing.T) {
 }
 
 func TestStatusValid(t *testing.T) {
-	for _, s := range []Status{StatusQueued, StatusRunning, StatusDone, StatusFailed} {
+	for _, s := range []Status{StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled} {
 		if !s.Valid() {
 			t.Errorf("%s.Valid() = false, want true", s)
 		}
@@ -34,12 +35,14 @@ func TestStatusValid(t *testing.T) {
 
 func TestStatusCanTransition(t *testing.T) {
 	allowed := map[[2]Status]bool{
-		{StatusQueued, StatusRunning}: true,
-		{StatusQueued, StatusFailed}:  true,
-		{StatusRunning, StatusDone}:   true,
-		{StatusRunning, StatusFailed}: true,
+		{StatusQueued, StatusRunning}:    true,
+		{StatusQueued, StatusFailed}:     true,
+		{StatusQueued, StatusCancelled}:  true,
+		{StatusRunning, StatusDone}:      true,
+		{StatusRunning, StatusFailed}:    true,
+		{StatusRunning, StatusCancelled}: true,
 	}
-	all := []Status{StatusQueued, StatusRunning, StatusDone, StatusFailed}
+	all := []Status{StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled}
 	for _, from := range all {
 		for _, to := range all {
 			want := allowed[[2]Status{from, to}]

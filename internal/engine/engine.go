@@ -1,6 +1,12 @@
 // Package engine schedules and executes operations on a bounded worker
 // pool, recording their lifecycle in a Store. It is the only writer of
 // operation state; the API layer reads snapshots through the engine.
+//
+// Every operation runs under its own context.Context, derived from the
+// engine's run context: cancelling the operation (Cancel), exceeding
+// its per-kind deadline, or shutting the engine down all signal the
+// handler through that one context, and the engine records the
+// corresponding terminal state when the handler returns.
 package engine
 
 import (
@@ -15,10 +21,32 @@ import (
 	"opdaemon/internal/core"
 )
 
-// Handler executes one kind of operation. It receives the engine's run
-// context (cancelled on shutdown deadline) and a snapshot of the
-// operation, and returns a JSON-serialisable result or an error.
+// Handler executes one kind of operation. It receives the operation's
+// own context — cancelled when the operation is aborted, its deadline
+// expires, or the engine shuts down — and a snapshot of the operation,
+// and returns a JSON-serialisable result or an error. Handlers that
+// honour ctx are cancellable; handlers that ignore it run to
+// completion regardless.
 type Handler func(ctx context.Context, op *core.Operation) (any, error)
+
+// registration is a handler plus its per-kind execution options.
+type registration struct {
+	h Handler
+	// deadline bounds one execution of this kind; zero falls back to
+	// the engine's DefaultDeadline (which may itself be zero:
+	// unbounded).
+	deadline time.Duration
+}
+
+// RegisterOption tunes one kind's registration.
+type RegisterOption func(*registration)
+
+// WithDeadline bounds each execution of the kind: the operation's
+// context is cancelled after d and the operation is recorded as failed
+// with a deadline error. d <= 0 means no per-kind bound.
+func WithDeadline(d time.Duration) RegisterOption {
+	return func(r *registration) { r.deadline = d }
+}
 
 // Config tunes an Engine. Zero values pick sensible defaults.
 type Config struct {
@@ -33,26 +61,48 @@ type Config struct {
 	Store Store
 	// Clock returns the current time; overridable in tests.
 	Clock func() time.Time
+	// OpTTL is how long terminal operations are retained. Zero keeps
+	// them forever; a positive TTL starts a janitor goroutine that
+	// evicts terminal operations whose last update is older than the
+	// TTL, bounding store memory under sustained load.
+	OpTTL time.Duration
+	// GCInterval is how often the janitor sweeps (default OpTTL/2,
+	// floored at one second). Ignored when OpTTL is zero.
+	GCInterval time.Duration
+	// DefaultDeadline bounds execution of kinds registered without
+	// WithDeadline. Zero means unbounded.
+	DefaultDeadline time.Duration
 }
 
 // Engine owns the operation lifecycle: it accepts submissions, runs
 // them on a worker pool, and exposes read access to their state.
 type Engine struct {
-	store    Store
-	clock    func() time.Time
-	queue    chan string
-	slots    chan struct{}
-	drained  chan struct{}
-	wg       sync.WaitGroup
-	runCtx   context.Context
-	runStop  context.CancelFunc
-	mu       sync.RWMutex
-	handlers map[string]Handler
-	closed   bool
+	store           Store
+	clock           func() time.Time
+	workers         int
+	defaultDeadline time.Duration
+	opTTL           time.Duration
+	gcInterval      time.Duration
+	queue           chan string
+	slots           chan struct{}
+	drained         chan struct{}
+	janitorStop     chan struct{}
+	wg              sync.WaitGroup
+	runCtx          context.Context
+	runStop         context.CancelFunc
+	mu              sync.RWMutex
+	handlers        map[string]registration
+	closed          bool
+
+	// cancelMu guards cancels, the registry of in-flight operations'
+	// cancel functions. It is separate from mu so Cancel never
+	// contends with the submission path.
+	cancelMu sync.Mutex
+	cancels  map[string]context.CancelCauseFunc
 }
 
 // New builds and starts an engine; workers begin draining the queue
-// immediately.
+// immediately, and a janitor goroutine starts when OpTTL is set.
 func New(cfg Config) *Engine {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
@@ -66,31 +116,50 @@ func New(cfg Config) *Engine {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	if cfg.OpTTL > 0 && cfg.GCInterval <= 0 {
+		cfg.GCInterval = cfg.OpTTL / 2
+		if cfg.GCInterval < time.Second {
+			cfg.GCInterval = time.Second
+		}
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	e := &Engine{
-		store:    cfg.Store,
-		clock:    cfg.Clock,
-		queue:    make(chan string, cfg.QueueDepth),
-		slots:    make(chan struct{}, cfg.QueueDepth),
-		drained:  make(chan struct{}),
-		runCtx:   ctx,
-		runStop:  stop,
-		handlers: make(map[string]Handler),
+		store:           cfg.Store,
+		clock:           cfg.Clock,
+		workers:         cfg.Workers,
+		defaultDeadline: cfg.DefaultDeadline,
+		opTTL:           cfg.OpTTL,
+		gcInterval:      cfg.GCInterval,
+		queue:           make(chan string, cfg.QueueDepth),
+		slots:           make(chan struct{}, cfg.QueueDepth),
+		drained:         make(chan struct{}),
+		janitorStop:     make(chan struct{}),
+		runCtx:          ctx,
+		runStop:         stop,
+		handlers:        make(map[string]registration),
+		cancels:         make(map[string]context.CancelCauseFunc),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
+	}
+	if e.opTTL > 0 {
+		go e.janitor()
 	}
 	return e
 }
 
 // Register installs the handler for an operation kind. Registering
 // after submissions have started is safe; re-registering replaces the
-// previous handler.
-func (e *Engine) Register(kind string, h Handler) {
+// previous handler and its options.
+func (e *Engine) Register(kind string, h Handler, opts ...RegisterOption) {
+	reg := registration{h: h}
+	for _, opt := range opts {
+		opt(&reg)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.handlers[kind] = h
+	e.handlers[kind] = reg
 }
 
 // Kinds returns the registered operation kinds, for diagnostics.
@@ -104,11 +173,38 @@ func (e *Engine) Kinds() []string {
 	return out
 }
 
-func (e *Engine) handler(kind string) (Handler, bool) {
+func (e *Engine) registration(kind string) (registration, bool) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	h, ok := e.handlers[kind]
-	return h, ok
+	reg, ok := e.handlers[kind]
+	return reg, ok
+}
+
+// Stats is a point-in-time saturation snapshot, cheap enough to serve
+// on every health poll.
+type Stats struct {
+	// Workers is the configured executor count.
+	Workers int `json:"workers"`
+	// QueueDepth is the number of accepted operations no worker has
+	// picked up yet.
+	QueueDepth int `json:"queue_depth"`
+	// QueueCapacity is the configured queue bound; submissions beyond
+	// it fail fast.
+	QueueCapacity int `json:"queue_capacity"`
+	// StoreLen is the number of operations currently retained.
+	StoreLen int `json:"store_len"`
+}
+
+// Stats reports queue and store saturation. QueueDepth counts reserved
+// queue slots, so it includes operations between acceptance and
+// dequeue.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Workers:       e.workers,
+		QueueDepth:    len(e.slots),
+		QueueCapacity: cap(e.slots),
+		StoreLen:      e.store.Len(),
+	}
 }
 
 // BatchItem describes one operation in a batch submission.
@@ -164,8 +260,11 @@ func (e *Engine) SubmitBatch(items []BatchItem) ([]*core.Operation, error) {
 	// rejected batch leaves no trace and the client learns about all
 	// bad items in one round trip. One read-lock covers the whole
 	// loop — per-item locking would re-serialize submitters on the
-	// engine mutex.
+	// engine mutex. The kind's effective deadline is captured here so
+	// the operation record carries the budget it was accepted under,
+	// even if the kind is re-registered before a worker picks it up.
 	var berr *core.BatchError
+	deadlines := make([]time.Duration, len(items))
 	e.mu.RLock()
 	for i, it := range items {
 		var err error
@@ -173,8 +272,14 @@ func (e *Engine) SubmitBatch(items []BatchItem) ([]*core.Operation, error) {
 		case it.Kind == "":
 			err = &core.InvalidError{Field: "kind", Reason: "must not be empty"}
 		default:
-			if _, ok := e.handlers[it.Kind]; !ok {
+			reg, ok := e.handlers[it.Kind]
+			if !ok {
 				err = fmt.Errorf("%w: %q", core.ErrUnknownKind, it.Kind)
+				break
+			}
+			deadlines[i] = reg.deadline
+			if deadlines[i] <= 0 {
+				deadlines[i] = e.defaultDeadline
 			}
 		}
 		if err != nil {
@@ -197,6 +302,7 @@ func (e *Engine) SubmitBatch(items []BatchItem) ([]*core.Operation, error) {
 			Kind:      it.Kind,
 			Params:    it.Params,
 			Status:    core.StatusQueued,
+			Deadline:  deadlines[i],
 			CreatedAt: now,
 			UpdatedAt: now,
 		}
@@ -275,17 +381,88 @@ func (e *Engine) List(status core.Status) []*core.Operation {
 	return out
 }
 
+// Cancel aborts the operation and returns its latest snapshot. A
+// queued operation moves straight to cancelled and its handler never
+// runs; a running operation has its context cancelled with
+// core.ErrCancelled and settles as cancelled once the handler
+// returns — the returned snapshot may still show it running, so
+// callers poll for the terminal state. Cancel returns
+// core.ErrNotFound for an unknown ID and core.ErrAlreadyTerminal for
+// an operation that already settled (including one whose handler
+// finished in the race window before the cancel landed).
+func (e *Engine) Cancel(id string) (*core.Operation, error) {
+	cancelled, running := false, false
+	err := e.store.Update(id, func(op *core.Operation) {
+		switch op.Status {
+		case core.StatusQueued:
+			now := e.clock()
+			op.Status = core.StatusCancelled
+			op.UpdatedAt = now
+			op.CancelledAt = now
+			op.Error = core.ErrCancelled.Error()
+			cancelled = true
+		case core.StatusRunning:
+			// Stamp the request time now — the handler may take a
+			// while to unwind, and CancelledAt records when the abort
+			// was asked for, not when it finished. The status stays
+			// running until the handler returns.
+			if op.CancelledAt.IsZero() {
+				op.CancelledAt = e.clock()
+			}
+			running = true
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if running {
+		// The registry entry is installed before the queued→running
+		// transition and removed only after the terminal one, so a
+		// store status of running guarantees it is present — unless
+		// the handler finished in between, in which case cancelling
+		// the dead context is a harmless no-op and the poll shows the
+		// operation's actual outcome.
+		e.cancelMu.Lock()
+		if cancel, ok := e.cancels[id]; ok {
+			cancel(core.ErrCancelled)
+		}
+		e.cancelMu.Unlock()
+	}
+	if !cancelled && !running {
+		return nil, fmt.Errorf("%w: %s", core.ErrAlreadyTerminal, id)
+	}
+	return e.store.Get(id)
+}
+
+// registerCancel publishes the operation's cancel function for Cancel
+// to find.
+func (e *Engine) registerCancel(id string, cancel context.CancelCauseFunc) {
+	e.cancelMu.Lock()
+	e.cancels[id] = cancel
+	e.cancelMu.Unlock()
+}
+
+// unregisterCancel retires the operation's cancel function once it has
+// settled.
+func (e *Engine) unregisterCancel(id string) {
+	e.cancelMu.Lock()
+	delete(e.cancels, id)
+	e.cancelMu.Unlock()
+}
+
 // Shutdown stops accepting submissions, drains queued operations, and
 // waits for in-flight handlers to finish. If ctx expires first, the
-// handlers' run context is cancelled and Shutdown returns ctx.Err()
-// immediately — a handler that ignores its context may still be
-// running, so the caller decides whether to wait longer or exit.
-// Concurrent and repeated calls all observe the same drain.
+// handlers' run context is cancelled — and with it every in-flight
+// operation's context, the same path Cancel uses — and Shutdown
+// returns ctx.Err() immediately; a handler that ignores its context
+// may still be running, so the caller decides whether to wait longer
+// or exit. Concurrent and repeated calls all observe the same drain.
 func (e *Engine) Shutdown(ctx context.Context) error {
 	e.mu.Lock()
 	if !e.closed {
 		e.closed = true
 		close(e.queue)
+		close(e.janitorStop)
 		go func() {
 			e.wg.Wait()
 			close(e.drained)
@@ -310,6 +487,38 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	}
 }
 
+// janitor periodically evicts expired terminal operations until
+// Shutdown stops it.
+func (e *Engine) janitor() {
+	t := time.NewTicker(e.gcInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.janitorStop:
+			return
+		case <-t.C:
+			if n := e.GC(); n > 0 {
+				log.Printf("engine: janitor evicted %d terminal operations older than %s", n, e.opTTL)
+			}
+		}
+	}
+}
+
+// GC evicts terminal operations whose last update is older than the
+// configured TTL and returns how many it removed. Queued and running
+// operations are never evicted — a terminal status can never regress,
+// so sweeping by status is race-free. GC is a no-op when no TTL is
+// configured; the janitor calls it on every tick, and tests may call
+// it directly. The sweep runs inside the store (no clones, no
+// sorting), so a large retained history doesn't turn every tick into
+// an allocation storm.
+func (e *Engine) GC() int {
+	if e.opTTL <= 0 {
+		return 0
+	}
+	return e.store.SweepTerminalBefore(e.clock().Add(-e.opTTL))
+}
+
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for id := range e.queue {
@@ -327,14 +536,47 @@ func (e *Engine) run(id string) {
 		e.fail(id, fmt.Errorf("loading operation: %w", err))
 		return
 	}
-	h, ok := e.handler(op.Kind)
+	if op.Status.Terminal() {
+		// Cancelled while queued; the slot is already released, the
+		// store already records the terminal state, nothing runs.
+		return
+	}
+	reg, ok := e.registration(op.Kind)
 	if !ok {
 		e.fail(id, fmt.Errorf("%w: %q", core.ErrUnknownKind, op.Kind))
 		return
 	}
 
-	e.transition(id, core.StatusRunning, nil, nil)
-	result, err := e.invoke(h, op)
+	// The operation's own context: child of the engine run context
+	// (shutdown deadline), cancellable by Cancel with a cause, and
+	// bounded by the deadline fixed at submission.
+	ctx, cancel := context.WithCancelCause(e.runCtx)
+	defer cancel(nil)
+	if op.Deadline > 0 {
+		var cancelDeadline context.CancelFunc
+		ctx, cancelDeadline = context.WithTimeout(ctx, op.Deadline)
+		defer cancelDeadline()
+	}
+
+	// Publish the cancel func before the running transition and
+	// retire it only after the terminal one, so Cancel observing
+	// status running always finds it.
+	e.registerCancel(id, cancel)
+	defer e.unregisterCancel(id)
+
+	if !e.transition(id, core.StatusRunning, nil, nil) {
+		// Cancelled between dequeue and start; never run the handler.
+		return
+	}
+	result, err := e.invoke(ctx, reg.h, op)
+	if err != nil && errors.Is(context.Cause(ctx), core.ErrCancelled) {
+		// The client asked for cancellation and the handler gave up;
+		// record cancelled no matter what error it returned. A
+		// handler that completed successfully despite the cancel
+		// keeps its result instead.
+		e.transition(id, core.StatusCancelled, nil, core.ErrCancelled)
+		return
+	}
 	if err != nil {
 		e.fail(id, err)
 		return
@@ -351,14 +593,14 @@ func (e *Engine) run(id string) {
 
 // invoke runs the handler, converting a panic into an error so one
 // bad handler fails its operation instead of killing the daemon.
-func (e *Engine) invoke(h Handler, op *core.Operation) (result any, err error) {
+func (e *Engine) invoke(ctx context.Context, h Handler, op *core.Operation) (result any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			log.Printf("engine: handler for %s (kind %s) panicked: %v", op.ID, op.Kind, r)
 			result, err = nil, fmt.Errorf("handler panicked: %v", r)
 		}
 	}()
-	return h(e.runCtx, op)
+	return h(ctx, op)
 }
 
 func (e *Engine) fail(id string, cause error) {
@@ -366,14 +608,24 @@ func (e *Engine) fail(id string, cause error) {
 }
 
 // transition atomically moves the operation to next, refusing illegal
-// lifecycle steps so terminal states are never overwritten.
-func (e *Engine) transition(id string, next core.Status, result json.RawMessage, cause error) {
+// lifecycle steps so terminal states are never overwritten. It reports
+// whether the step was applied, so callers can tell a recorded
+// transition from one pre-empted by a concurrent cancel.
+func (e *Engine) transition(id string, next core.Status, result json.RawMessage, cause error) bool {
+	applied := false
 	err := e.store.Update(id, func(op *core.Operation) {
 		if !op.Status.CanTransition(next) {
 			return
 		}
+		applied = true
+		now := e.clock()
 		op.Status = next
-		op.UpdatedAt = e.clock()
+		op.UpdatedAt = now
+		// Keep the request-time stamp Cancel already recorded; only a
+		// cancel that bypassed Cancel (shouldn't happen) backfills.
+		if next == core.StatusCancelled && op.CancelledAt.IsZero() {
+			op.CancelledAt = now
+		}
 		if result != nil {
 			op.Result = result
 		}
@@ -386,4 +638,5 @@ func (e *Engine) transition(id string, next core.Status, result json.RawMessage,
 		// the op in its previous state with no trace.
 		log.Printf("engine: recording %s transition for %s: %v", next, id, err)
 	}
+	return applied
 }

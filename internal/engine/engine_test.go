@@ -455,6 +455,317 @@ func TestSubmitBatchAfterShutdown(t *testing.T) {
 	}
 }
 
+func TestCancelQueuedNeverRuns(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 8})
+	defer e.Shutdown(context.Background())
+
+	release := make(chan struct{})
+	e.Register("block", func(context.Context, *core.Operation) (any, error) {
+		<-release
+		return nil, nil
+	})
+	ran := make(chan string, 8)
+	e.Register("track", func(_ context.Context, op *core.Operation) (any, error) {
+		ran <- op.ID
+		return nil, nil
+	})
+
+	// Occupy the single worker so the tracked op stays queued.
+	blocker, err := e.Submit("block", nil)
+	if err != nil {
+		t.Fatalf("Submit(block): %v", err)
+	}
+	if _, err := waitOp(e, blocker.ID, func(op *core.Operation) bool {
+		return op.Status == core.StatusRunning
+	}); err != nil {
+		t.Fatalf("blocker never started: %v", err)
+	}
+	queued, err := e.Submit("track", nil)
+	if err != nil {
+		t.Fatalf("Submit(track): %v", err)
+	}
+
+	snap, err := e.Cancel(queued.ID)
+	if err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if snap.Status != core.StatusCancelled {
+		t.Errorf("cancelled queued op status = %s, want cancelled immediately", snap.Status)
+	}
+	if snap.CancelledAt.IsZero() {
+		t.Error("cancelled op has zero CancelledAt")
+	}
+	if snap.Error == "" {
+		t.Error("cancelled op has empty error message")
+	}
+
+	// Release the worker; it must skip the cancelled op, not run it.
+	close(release)
+	waitStatus(t, e, blocker.ID)
+	if err := e.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case id := <-ran:
+		t.Errorf("handler ran for cancelled queued op %s", id)
+	default:
+	}
+	final, err := e.Get(queued.ID)
+	if err != nil {
+		t.Fatalf("Get after drain: %v", err)
+	}
+	if final.Status != core.StatusCancelled {
+		t.Errorf("status after drain = %s, want cancelled", final.Status)
+	}
+}
+
+func TestCancelRunningSignalsContext(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Shutdown(context.Background())
+
+	started := make(chan struct{})
+	e.Register("hang", func(ctx context.Context, _ *core.Operation) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	op, err := e.Submit("hang", nil)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+
+	if _, err := e.Cancel(op.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	final := waitStatus(t, e, op.ID)
+	if final.Status != core.StatusCancelled {
+		t.Fatalf("final status = %s (error %q), want cancelled", final.Status, final.Error)
+	}
+	if final.CancelledAt.IsZero() {
+		t.Error("cancelled op has zero CancelledAt")
+	}
+	if final.Error != core.ErrCancelled.Error() {
+		t.Errorf("error = %q, want %q", final.Error, core.ErrCancelled)
+	}
+}
+
+func TestCancelErrors(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Shutdown(context.Background())
+	e.Register("ok", func(context.Context, *core.Operation) (any, error) { return nil, nil })
+
+	if _, err := e.Cancel("missing"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("Cancel(missing) error = %v, want ErrNotFound", err)
+	}
+	op, err := e.Submit("ok", nil)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitStatus(t, e, op.ID)
+	if _, err := e.Cancel(op.ID); !errors.Is(err, core.ErrAlreadyTerminal) {
+		t.Errorf("Cancel(done op) error = %v, want ErrAlreadyTerminal", err)
+	}
+}
+
+func TestPerKindDeadlineFailsSlowHandler(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Shutdown(context.Background())
+
+	e.Register("slow", func(ctx context.Context, _ *core.Operation) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, WithDeadline(20*time.Millisecond))
+
+	op, err := e.Submit("slow", nil)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if op.Deadline != 20*time.Millisecond {
+		t.Errorf("submitted snapshot deadline = %s, want 20ms", op.Deadline)
+	}
+	final := waitStatus(t, e, op.ID)
+	if final.Status != core.StatusFailed {
+		t.Fatalf("final status = %s, want failed (deadline, not cancel)", final.Status)
+	}
+	if final.Error != context.DeadlineExceeded.Error() {
+		t.Errorf("error = %q, want %q", final.Error, context.DeadlineExceeded)
+	}
+}
+
+func TestDefaultDeadlineAppliesWhenKindHasNone(t *testing.T) {
+	e := New(Config{Workers: 1, DefaultDeadline: 20 * time.Millisecond})
+	defer e.Shutdown(context.Background())
+
+	e.Register("slow", func(ctx context.Context, _ *core.Operation) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	e.Register("fast", func(context.Context, *core.Operation) (any, error) {
+		return "done", nil
+	})
+
+	slow, err := e.Submit("slow", nil)
+	if err != nil {
+		t.Fatalf("Submit(slow): %v", err)
+	}
+	if slow.Deadline != 20*time.Millisecond {
+		t.Errorf("default deadline not recorded: got %s", slow.Deadline)
+	}
+	if final := waitStatus(t, e, slow.ID); final.Status != core.StatusFailed {
+		t.Errorf("slow op status = %s, want failed via default deadline", final.Status)
+	}
+	fast, err := e.Submit("fast", nil)
+	if err != nil {
+		t.Fatalf("Submit(fast): %v", err)
+	}
+	if final := waitStatus(t, e, fast.ID); final.Status != core.StatusDone {
+		t.Errorf("fast op status = %s, want done within deadline", final.Status)
+	}
+}
+
+func TestGCEvictsOnlyExpiredTerminal(t *testing.T) {
+	var clockMu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		now = now.Add(d)
+		clockMu.Unlock()
+	}
+
+	// GCInterval is huge so only explicit GC() calls sweep, keeping
+	// the test deterministic under the fake clock.
+	e := New(Config{Workers: 2, Clock: clock, OpTTL: time.Minute, GCInterval: time.Hour})
+	defer e.Shutdown(context.Background())
+
+	e.Register("ok", func(context.Context, *core.Operation) (any, error) { return nil, nil })
+	release := make(chan struct{})
+	defer close(release)
+	e.Register("block", func(context.Context, *core.Operation) (any, error) {
+		<-release
+		return nil, nil
+	})
+
+	// A running op must never be evicted, no matter how old.
+	running, err := e.Submit("block", nil)
+	if err != nil {
+		t.Fatalf("Submit(block): %v", err)
+	}
+	if _, err := waitOp(e, running.ID, func(op *core.Operation) bool {
+		return op.Status == core.StatusRunning
+	}); err != nil {
+		t.Fatalf("blocker never started: %v", err)
+	}
+	done, err := e.Submit("ok", nil)
+	if err != nil {
+		t.Fatalf("Submit(ok): %v", err)
+	}
+	waitStatus(t, e, done.ID)
+
+	// Nothing is older than the TTL yet.
+	if n := e.GC(); n != 0 {
+		t.Errorf("GC before TTL evicted %d ops, want 0", n)
+	}
+	advance(2 * time.Minute)
+	if n := e.GC(); n != 1 {
+		t.Errorf("GC past TTL evicted %d ops, want exactly the terminal one", n)
+	}
+	stillThere, err := e.Get(running.ID)
+	if err != nil {
+		t.Fatalf("running op evicted: %v", err)
+	}
+	if stillThere.Status != core.StatusRunning {
+		t.Fatalf("running op status = %s mid-test, want running", stillThere.Status)
+	}
+	if _, err := e.Get(done.ID); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("Get(evicted op) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestGCDisabledWithoutTTL(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Shutdown(context.Background())
+	e.Register("ok", func(context.Context, *core.Operation) (any, error) { return nil, nil })
+	op, _ := e.Submit("ok", nil)
+	waitStatus(t, e, op.ID)
+	if n := e.GC(); n != 0 {
+		t.Errorf("GC without TTL evicted %d ops, want 0 (disabled)", n)
+	}
+	if _, err := e.Get(op.ID); err != nil {
+		t.Errorf("op evicted with GC disabled: %v", err)
+	}
+}
+
+func TestJanitorBoundsStoreUnderLoad(t *testing.T) {
+	e := New(Config{Workers: 4, OpTTL: 30 * time.Millisecond, GCInterval: 10 * time.Millisecond})
+	defer e.Shutdown(context.Background())
+	e.Register("ok", func(context.Context, *core.Operation) (any, error) { return nil, nil })
+
+	const n = 64
+	for i := 0; i < n; i++ {
+		if _, err := e.Submit("ok", nil); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	// Every op settles quickly; the janitor must eventually evict all
+	// of them without any manual GC call.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if e.Stats().StoreLen == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("janitor never drained store: %d ops remain", e.Stats().StoreLen)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestStatsReportSaturation(t *testing.T) {
+	e := New(Config{Workers: 3, QueueDepth: 7})
+	defer e.Shutdown(context.Background())
+
+	st := e.Stats()
+	if st.Workers != 3 {
+		t.Errorf("Workers = %d, want 3", st.Workers)
+	}
+	if st.QueueCapacity != 7 {
+		t.Errorf("QueueCapacity = %d, want 7", st.QueueCapacity)
+	}
+	if st.QueueDepth != 0 || st.StoreLen != 0 {
+		t.Errorf("idle engine reports depth=%d store=%d, want 0/0", st.QueueDepth, st.StoreLen)
+	}
+
+	release := make(chan struct{})
+	e.Register("block", func(context.Context, *core.Operation) (any, error) {
+		<-release
+		return nil, nil
+	})
+	// Fill all workers plus two queued.
+	for i := 0; i < 5; i++ {
+		if _, err := e.Submit("block", nil); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	// Wait until the three workers have dequeued (released slots).
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().QueueDepth != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("QueueDepth = %d, want 2 (3 running + 2 queued)", e.Stats().QueueDepth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := e.Stats().StoreLen; got != 5 {
+		t.Errorf("StoreLen = %d, want 5", got)
+	}
+	close(release)
+}
+
 func TestQueueFull(t *testing.T) {
 	e := New(Config{Workers: 1, QueueDepth: 1})
 	defer e.Shutdown(context.Background())

@@ -3,6 +3,7 @@ package engine
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"opdaemon/internal/core"
 )
@@ -34,6 +35,12 @@ type Store interface {
 	// Delete removes the operation; deleting an unknown ID is a
 	// no-op.
 	Delete(id string)
+	// SweepTerminalBefore deletes every operation whose status is
+	// terminal and whose UpdatedAt is before cutoff, returning how
+	// many were removed. Non-terminal operations are never touched.
+	// The janitor calls this on every tick, so implementations scan
+	// in place rather than snapshotting the store.
+	SweepTerminalBefore(cutoff time.Time) int
 	// Len returns the number of stored operations.
 	Len() int
 }
@@ -131,6 +138,19 @@ func (s *memStore) Delete(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.ops, id)
+}
+
+func (s *memStore) SweepTerminalBefore(cutoff time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evicted := 0
+	for id, op := range s.ops {
+		if op.Status.Terminal() && op.UpdatedAt.Before(cutoff) {
+			delete(s.ops, id)
+			evicted++
+		}
+	}
+	return evicted
 }
 
 func (s *memStore) Len() int {

@@ -219,6 +219,98 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 		}
 	})
 
+	t.Run("DeleteDecrementsLen", func(t *testing.T) {
+		s := mk()
+		const n = 10
+		for i := 0; i < n; i++ {
+			s.Put(mkOp(fmt.Sprintf("op-%02d", i), t0.Add(time.Duration(i))))
+		}
+		for i := 0; i < n; i++ {
+			s.Delete(fmt.Sprintf("op-%02d", i))
+			if got, want := s.Len(), n-i-1; got != want {
+				t.Fatalf("Len after deleting %d ops = %d, want %d", i+1, got, want)
+			}
+		}
+		if got := len(s.List()); got != 0 {
+			t.Errorf("List after deleting everything has %d ops, want 0", got)
+		}
+	})
+
+	t.Run("DeleteConcurrentWithUpdate", func(t *testing.T) {
+		// The janitor deletes terminal operations while workers
+		// update others; hammer one ID from both sides. Every Update
+		// must either apply atomically or report ErrNotFound — never
+		// panic, deadlock, or resurrect the deleted operation.
+		s := mk()
+		const rounds = 100
+		for r := 0; r < rounds; r++ {
+			id := fmt.Sprintf("op-%03d", r)
+			s.Put(mkOp(id, t0))
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 10; i++ {
+					err := s.Update(id, func(op *core.Operation) {
+						op.UpdatedAt = op.UpdatedAt.Add(time.Second)
+					})
+					if err != nil && !errors.Is(err, core.ErrNotFound) {
+						t.Errorf("Update racing Delete: %v", err)
+						return
+					}
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				s.Delete(id)
+			}()
+			wg.Wait()
+			if _, err := s.Get(id); !errors.Is(err, core.ErrNotFound) {
+				t.Fatalf("round %d: op resurrected after Delete: %v", r, err)
+			}
+		}
+		if got := s.Len(); got != 0 {
+			t.Errorf("Len after concurrent delete rounds = %d, want 0", got)
+		}
+	})
+
+	t.Run("SweepTerminalBefore", func(t *testing.T) {
+		s := mk()
+		mkAt := func(id string, status core.Status, at time.Time) {
+			op := mkOp(id, t0)
+			op.Status = status
+			op.UpdatedAt = at
+			s.Put(op)
+		}
+		cutoff := t0.Add(time.Minute)
+		mkAt("old-done", core.StatusDone, t0)                        // evict
+		mkAt("old-failed", core.StatusFailed, t0)                    // evict
+		mkAt("old-cancelled", core.StatusCancelled, t0)              // evict
+		mkAt("old-queued", core.StatusQueued, t0)                    // keep: not terminal
+		mkAt("old-running", core.StatusRunning, t0)                  // keep: not terminal
+		mkAt("fresh-done", core.StatusDone, cutoff.Add(time.Second)) // keep: too fresh
+		mkAt("at-cutoff", core.StatusDone, cutoff)                   // keep: not strictly before
+		if got := s.SweepTerminalBefore(cutoff); got != 3 {
+			t.Errorf("SweepTerminalBefore evicted %d, want 3", got)
+		}
+		for _, id := range []string{"old-done", "old-failed", "old-cancelled"} {
+			if _, err := s.Get(id); !errors.Is(err, core.ErrNotFound) {
+				t.Errorf("Get(%s) after sweep = %v, want ErrNotFound", id, err)
+			}
+		}
+		for _, id := range []string{"old-queued", "old-running", "fresh-done", "at-cutoff"} {
+			if _, err := s.Get(id); err != nil {
+				t.Errorf("sweep evicted %s: %v", id, err)
+			}
+		}
+		if got := s.Len(); got != 4 {
+			t.Errorf("Len after sweep = %d, want 4", got)
+		}
+		if got := s.SweepTerminalBefore(cutoff); got != 0 {
+			t.Errorf("second sweep evicted %d, want 0 (idempotent)", got)
+		}
+	})
+
 	t.Run("LenCountsEverything", func(t *testing.T) {
 		s := mk()
 		const n = 100

@@ -3,6 +3,7 @@ package engine
 import (
 	"hash/maphash"
 	"sync"
+	"time"
 
 	"opdaemon/internal/core"
 )
@@ -182,6 +183,25 @@ func (s *shardedStore) Delete(id string) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	delete(sh.ops, id)
+}
+
+func (s *shardedStore) SweepTerminalBefore(cutoff time.Time) int {
+	// One shard lock at a time: the sweep never holds more than one
+	// lock, so concurrent per-operation traffic on other shards is
+	// unaffected and there is no cross-shard deadlock risk. No clones
+	// and no ordering work — this is the janitor's hot path.
+	evicted := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id, op := range sh.ops {
+			if op.Status.Terminal() && op.UpdatedAt.Before(cutoff) {
+				delete(sh.ops, id)
+				evicted++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return evicted
 }
 
 func (s *shardedStore) Len() int {
