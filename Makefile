@@ -11,7 +11,7 @@ BENCHCPU ?= 8
 # CI and developers lint with identical rules. Bump deliberately.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build test vet fmt-check fmt bench staticcheck
+.PHONY: all build test vet fmt-check fmt bench bench-e2e staticcheck
 
 all: build vet fmt-check test
 
@@ -31,6 +31,12 @@ staticcheck:
 
 bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -cpu=$(BENCHCPU) -run '^$$' ./internal/engine/
+
+# End-to-end API benchmarks: router -> engine -> store -> envelope per
+# request. Pair with `make bench` to tell an API-layer regression from
+# a store-layer one. See docs/performance.md.
+bench-e2e:
+	$(GO) test -bench=. -benchtime=$(BENCHTIME) -cpu=$(BENCHCPU) -run '^$$' ./internal/api/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -28,6 +29,7 @@ import (
 // flag list has one home.
 type daemonConfig struct {
 	addr            string
+	debugAddr       string
 	workers         int
 	queueDepth      int
 	storeShards     int
@@ -40,9 +42,10 @@ type daemonConfig struct {
 func main() {
 	var cfg daemonConfig
 	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8712", "listen address")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables — never expose it publicly")
 	flag.IntVar(&cfg.workers, "workers", 8, "concurrent operation workers")
 	flag.IntVar(&cfg.queueDepth, "queue-depth", 1024, "max queued operations")
-	flag.IntVar(&cfg.storeShards, "store-shards", engine.DefaultShardCount, "operation store shard count, rounded up to a power of two (<=1 selects the unsharded single-mutex store)")
+	flag.IntVar(&cfg.storeShards, "store-shards", engine.DefaultShardCount(), "operation store shard count, rounded up to a power of two (default scales with GOMAXPROCS; <=1 selects the unsharded single-mutex store)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "max time to drain operations on shutdown")
 	flag.DurationVar(&cfg.opTTL, "op-ttl", 0, "retention for terminal operations; 0 keeps them forever, >0 starts a janitor that evicts older ones")
 	flag.DurationVar(&cfg.gcInterval, "gc-interval", 0, "how often the janitor sweeps (default op-ttl/2, min 1s); ignored when -op-ttl is 0")
@@ -72,6 +75,32 @@ func run(cfg daemonConfig) error {
 		DefaultDeadline: cfg.defaultDeadline,
 	})
 	registerBuiltins(eng)
+
+	// The pprof endpoints live on their own listener so profiles can be
+	// pulled from a live soak without exposing them on the API address;
+	// off by default because they leak internals and cost CPU to serve.
+	if cfg.debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{
+			Addr:              cfg.debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		defer dsrv.Close()
+		go func() {
+			log.Printf("daemon: pprof on http://%s/debug/pprof/ (keep this address private)", cfg.debugAddr)
+			if err := dsrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				// A dead debug listener should not take the daemon down;
+				// profiling is just unavailable.
+				log.Printf("daemon: debug server: %v", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              cfg.addr,

@@ -51,17 +51,27 @@ func main() {
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-request timeout")
 		seed        = flag.Int64("seed", 1, "seed for the kind-mix random source")
 		cancelFrac  = flag.Float64("cancel-frac", 0, "fraction (0..1) of accepted operations to cancel via DELETE")
+		listEvery   = flag.Int("list-every", 0, "issue GET /v1/operations?limit=50 after every N submissions per worker (0 disables); exercises the daemon's read path under load")
+		jsonPath    = flag.String("json", "", "also write the report as JSON to this path (schema in docs/loadgen.md), for the BENCH_*.json perf trajectory")
 	)
 	flag.Parse()
 
-	cfg, err := newRunConfig(*addr, *concurrency, *duration, *batch, *kinds, *params, *timeout, *cancelFrac)
+	cfg, err := newRunConfig(*addr, *concurrency, *duration, *batch, *kinds, *params, *timeout, *cancelFrac, *listEvery)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(2)
 	}
 	report := cfg.run(*seed)
 	fmt.Print(report.format(cfg))
-	if report.transportErrs > 0 || report.accepted == 0 {
+	if *jsonPath != "" {
+		if err := report.writeJSON(*jsonPath, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+	}
+	// List failures gate the exit status like transport errors do: a
+	// scripted bench run must not record a broken read path as green.
+	if report.transportErrs > 0 || report.listErrs > 0 || report.accepted == 0 {
 		os.Exit(1)
 	}
 }
@@ -77,11 +87,12 @@ type runConfig struct {
 	params      map[string]any
 	timeout     time.Duration
 	cancelFrac  float64
+	listEvery   int
 }
 
 // newRunConfig validates flags into a runConfig, rejecting values that
 // would make the run meaningless (zero concurrency, empty mix, ...).
-func newRunConfig(addr string, concurrency int, duration time.Duration, batch int, kinds, params string, timeout time.Duration, cancelFrac float64) (*runConfig, error) {
+func newRunConfig(addr string, concurrency int, duration time.Duration, batch int, kinds, params string, timeout time.Duration, cancelFrac float64, listEvery int) (*runConfig, error) {
 	if concurrency < 1 {
 		return nil, fmt.Errorf("concurrency must be >= 1, got %d", concurrency)
 	}
@@ -93,6 +104,9 @@ func newRunConfig(addr string, concurrency int, duration time.Duration, batch in
 	}
 	if cancelFrac < 0 || cancelFrac > 1 {
 		return nil, fmt.Errorf("cancel-frac must be within [0, 1], got %g", cancelFrac)
+	}
+	if listEvery < 0 {
+		return nil, fmt.Errorf("list-every must be >= 0, got %d", listEvery)
 	}
 	mix, err := parseKindMix(kinds)
 	if err != nil {
@@ -113,6 +127,7 @@ func newRunConfig(addr string, concurrency int, duration time.Duration, batch in
 		params:      p,
 		timeout:     timeout,
 		cancelFrac:  cancelFrac,
+		listEvery:   listEvery,
 	}, nil
 }
 
@@ -190,8 +205,11 @@ type submitRequest struct {
 // share stats, so the hot loop takes no locks.
 type workerStats struct {
 	latencies       []time.Duration
+	listLatencies   []time.Duration
 	requests        int64
 	accepted        int64
+	listRequests    int64
+	listErrs        int64
 	codes           map[int]int64
 	transportErrs   int64
 	cancelRequested int64
@@ -206,6 +224,9 @@ type report struct {
 	requests        int64
 	accepted        int64
 	latencies       []time.Duration
+	listRequests    int64
+	listErrs        int64
+	listLatencies   []time.Duration
 	codes           map[int]int64
 	transportErrs   int64
 	cancelRequested int64
@@ -246,17 +267,21 @@ func (cfg *runConfig) run(seed int64) *report {
 	for _, ws := range stats {
 		merged.requests += ws.requests
 		merged.accepted += ws.accepted
+		merged.listRequests += ws.listRequests
+		merged.listErrs += ws.listErrs
 		merged.transportErrs += ws.transportErrs
 		merged.cancelRequested += ws.cancelRequested
 		merged.cancelled += ws.cancelled
 		merged.cancelConflicts += ws.cancelConflicts
 		merged.cancelErrs += ws.cancelErrs
 		merged.latencies = append(merged.latencies, ws.latencies...)
+		merged.listLatencies = append(merged.listLatencies, ws.listLatencies...)
 		for code, n := range ws.codes {
 			merged.codes[code] += n
 		}
 	}
 	sort.Slice(merged.latencies, func(i, j int) bool { return merged.latencies[i] < merged.latencies[j] })
+	sort.Slice(merged.listLatencies, func(i, j int) bool { return merged.listLatencies[i] < merged.listLatencies[j] })
 	return merged
 }
 
@@ -264,6 +289,7 @@ func (cfg *runConfig) run(seed int64) *report {
 // record the outcome, repeat until the deadline.
 func (cfg *runConfig) worker(client *http.Client, ws *workerStats, deadline time.Time, seed int64) {
 	r := rand.New(rand.NewSource(seed))
+	submits := 0
 	for time.Now().Before(deadline) {
 		body, err := cfg.buildBody(r)
 		if err != nil {
@@ -301,7 +327,31 @@ func (cfg *runConfig) worker(client *http.Client, ws *workerStats, deadline time
 				cfg.cancelSome(client, ws, r, replyBody)
 			}
 		}
+		if submits++; cfg.listEvery > 0 && submits%cfg.listEvery == 0 {
+			cfg.listOnce(client, ws)
+		}
 	}
+}
+
+// listOnce issues one poll-style page request — the read path snapd
+// clients hammer — and records its latency separately from submission
+// latency so the two paths stay individually comparable across runs.
+func (cfg *runConfig) listOnce(client *http.Client, ws *workerStats) {
+	begin := time.Now()
+	resp, err := client.Get(cfg.url + "?limit=50")
+	took := time.Since(begin)
+	ws.listRequests++
+	if err != nil {
+		ws.listErrs++
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		ws.listErrs++
+		return
+	}
+	ws.listLatencies = append(ws.listLatencies, took)
 }
 
 // cancelSome draws each accepted ID against the cancel fraction and
@@ -424,6 +474,16 @@ func (rep *report) format(cfg *runConfig) string {
 			percentile(rep.latencies, 99).Round(time.Microsecond),
 			rep.latencies[len(rep.latencies)-1].Round(time.Microsecond))
 	}
+	if rep.listRequests > 0 {
+		fmt.Fprintf(&b, "lists:      %d (%.1f/s) p50=%s p90=%s p99=%s\n",
+			rep.listRequests, float64(rep.listRequests)/secs,
+			percentile(rep.listLatencies, 50).Round(time.Microsecond),
+			percentile(rep.listLatencies, 90).Round(time.Microsecond),
+			percentile(rep.listLatencies, 99).Round(time.Microsecond))
+		if rep.listErrs > 0 {
+			fmt.Fprintf(&b, "list errors: %d\n", rep.listErrs)
+		}
+	}
 	codes := make([]int, 0, len(rep.codes))
 	for code := range rep.codes {
 		codes = append(codes, code)
@@ -443,4 +503,99 @@ func (rep *report) format(cfg *runConfig) string {
 		fmt.Fprintf(&b, "transport errors: %d\n", rep.transportErrs)
 	}
 	return b.String()
+}
+
+// jsonPercentiles is the latency block of the JSON report, in
+// milliseconds for cross-run arithmetic without duration parsing.
+type jsonPercentiles struct {
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+func toJSONPercentiles(sorted []time.Duration) jsonPercentiles {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	var max time.Duration
+	if len(sorted) > 0 {
+		max = sorted[len(sorted)-1]
+	}
+	return jsonPercentiles{
+		P50Ms: ms(percentile(sorted, 50)),
+		P90Ms: ms(percentile(sorted, 90)),
+		P99Ms: ms(percentile(sorted, 99)),
+		MaxMs: ms(max),
+	}
+}
+
+// jsonReport is the machine-readable run record written by -json; one
+// of these per run is what a BENCH_*.json trajectory entry holds. The
+// schema field versions the shape so future fields can be added
+// without breaking consumers; see docs/loadgen.md.
+type jsonReport struct {
+	Schema string `json:"schema"`
+	Config struct {
+		URL             string  `json:"url"`
+		Concurrency     int     `json:"concurrency"`
+		DurationSeconds float64 `json:"duration_seconds"`
+		Batch           int     `json:"batch"`
+		Kinds           string  `json:"kinds"`
+		CancelFrac      float64 `json:"cancel_frac"`
+		ListEvery       int     `json:"list_every"`
+	} `json:"config"`
+	ElapsedSeconds      float64          `json:"elapsed_seconds"`
+	Requests            int64            `json:"requests"`
+	RequestsPerSecond   float64          `json:"requests_per_second"`
+	OperationsAccepted  int64            `json:"operations_accepted"`
+	OperationsPerSecond float64          `json:"operations_per_second"`
+	SubmitLatency       jsonPercentiles  `json:"submit_latency"`
+	ListRequests        int64            `json:"list_requests,omitempty"`
+	ListLatency         *jsonPercentiles `json:"list_latency,omitempty"`
+	ListErrors          int64            `json:"list_errors,omitempty"`
+	HTTPCodes           map[string]int64 `json:"http_codes"`
+	CancelsRequested    int64            `json:"cancels_requested,omitempty"`
+	Cancelled           int64            `json:"cancelled,omitempty"`
+	CancelConflicts     int64            `json:"cancel_conflicts,omitempty"`
+	CancelErrors        int64            `json:"cancel_errors,omitempty"`
+	TransportErrors     int64            `json:"transport_errors"`
+}
+
+// writeJSON renders the run as indented JSON at path.
+func (rep *report) writeJSON(path string, cfg *runConfig) error {
+	var jr jsonReport
+	jr.Schema = "opdaemon-loadgen/1"
+	jr.Config.URL = cfg.url
+	jr.Config.Concurrency = cfg.concurrency
+	jr.Config.DurationSeconds = cfg.duration.Seconds()
+	jr.Config.Batch = cfg.batch
+	jr.Config.Kinds = cfg.mix.String()
+	jr.Config.CancelFrac = cfg.cancelFrac
+	jr.Config.ListEvery = cfg.listEvery
+	secs := rep.elapsed.Seconds()
+	jr.ElapsedSeconds = secs
+	jr.Requests = rep.requests
+	jr.RequestsPerSecond = float64(rep.requests) / secs
+	jr.OperationsAccepted = rep.accepted
+	jr.OperationsPerSecond = float64(rep.accepted) / secs
+	jr.SubmitLatency = toJSONPercentiles(rep.latencies)
+	if rep.listRequests > 0 {
+		jr.ListRequests = rep.listRequests
+		lp := toJSONPercentiles(rep.listLatencies)
+		jr.ListLatency = &lp
+		jr.ListErrors = rep.listErrs
+	}
+	jr.HTTPCodes = make(map[string]int64, len(rep.codes))
+	for code, n := range rep.codes {
+		jr.HTTPCodes[strconv.Itoa(code)] = n
+	}
+	jr.CancelsRequested = rep.cancelRequested
+	jr.Cancelled = rep.cancelled
+	jr.CancelConflicts = rep.cancelConflicts
+	jr.CancelErrors = rep.cancelErrs
+	jr.TransportErrors = rep.transportErrs
+	out, err := json.MarshalIndent(&jr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -127,7 +128,7 @@ func TestRunAgainstStubDaemon(t *testing.T) {
 	defer srv.Close()
 
 	addr := strings.TrimPrefix(srv.URL, "http://")
-	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 4, "noop=1", "", time.Second, 0)
+	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 4, "noop=1", "", time.Second, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,16 +158,18 @@ func TestNewRunConfigValidation(t *testing.T) {
 		kinds       string
 		params      string
 		cancelFrac  float64
+		listEvery   int
 	}{
-		"zero concurrency":     {0, 1, time.Second, "noop=1", "", 0},
-		"zero batch":           {1, 0, time.Second, "noop=1", "", 0},
-		"zero duration":        {1, 1, 0, "noop=1", "", 0},
-		"bad mix":              {1, 1, time.Second, "noop=zero", "", 0},
-		"bad params":           {1, 1, time.Second, "noop=1", "{not json", 0},
-		"negative cancel frac": {1, 1, time.Second, "noop=1", "", -0.1},
-		"cancel frac over one": {1, 1, time.Second, "noop=1", "", 1.5},
+		"zero concurrency":     {0, 1, time.Second, "noop=1", "", 0, 0},
+		"zero batch":           {1, 0, time.Second, "noop=1", "", 0, 0},
+		"zero duration":        {1, 1, 0, "noop=1", "", 0, 0},
+		"bad mix":              {1, 1, time.Second, "noop=zero", "", 0, 0},
+		"bad params":           {1, 1, time.Second, "noop=1", "{not json", 0, 0},
+		"negative cancel frac": {1, 1, time.Second, "noop=1", "", -0.1, 0},
+		"cancel frac over one": {1, 1, time.Second, "noop=1", "", 1.5, 0},
+		"negative list every":  {1, 1, time.Second, "noop=1", "", 0, -1},
 	} {
-		if _, err := newRunConfig("x", tc.concurrency, tc.duration, tc.batch, tc.kinds, tc.params, time.Second, tc.cancelFrac); err == nil {
+		if _, err := newRunConfig("x", tc.concurrency, tc.duration, tc.batch, tc.kinds, tc.params, time.Second, tc.cancelFrac, tc.listEvery); err == nil {
 			t.Errorf("%s: newRunConfig accepted invalid input", name)
 		}
 	}
@@ -198,6 +201,112 @@ func TestExtractIDs(t *testing.T) {
 	}
 }
 
+// TestRunWithListEvery drives a stub daemon and checks the interleaved
+// page requests are counted and timed separately from submissions.
+func TestRunWithListEvery(t *testing.T) {
+	var mu sync.Mutex
+	gets := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			mu.Lock()
+			gets++
+			mu.Unlock()
+			if r.URL.Query().Get("limit") != "50" {
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			w.Write([]byte(`{"type":"sync","status_code":200,"result":[]}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"type":"async","status_code":202,"result":{"id":"x"}}`))
+	}))
+	defer srv.Close()
+
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 1, "noop=1", "", time.Second, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := cfg.run(1)
+	if rep.requests == 0 {
+		t.Fatal("run made no requests")
+	}
+	if rep.listRequests == 0 {
+		t.Fatal("list-every=3 issued no list requests")
+	}
+	mu.Lock()
+	if int64(gets) != rep.listRequests {
+		t.Errorf("stub saw %d GETs, report counts %d", gets, rep.listRequests)
+	}
+	mu.Unlock()
+	if rep.listErrs != 0 {
+		t.Errorf("list errors = %d, want 0", rep.listErrs)
+	}
+	if len(rep.listLatencies) != int(rep.listRequests) {
+		t.Errorf("recorded %d list latencies for %d list requests", len(rep.listLatencies), rep.listRequests)
+	}
+	// Submission latency must not absorb the list traffic.
+	if int64(len(rep.latencies)) != rep.requests-rep.transportErrs {
+		t.Errorf("submit latencies = %d, want one per submission (%d)", len(rep.latencies), rep.requests)
+	}
+	if out := rep.format(cfg); !strings.Contains(out, "lists:") {
+		t.Errorf("report missing lists line:\n%s", out)
+	}
+}
+
+// TestWriteJSON checks the -json report round-trips with the schema
+// docs/loadgen.md documents.
+func TestWriteJSON(t *testing.T) {
+	rep := &report{
+		elapsed:       2 * time.Second,
+		requests:      100,
+		accepted:      400,
+		latencies:     []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond},
+		listRequests:  10,
+		listLatencies: []time.Duration{5 * time.Millisecond},
+		codes:         map[int]int64{202: 100},
+	}
+	mix, _ := parseKindMix("noop=1")
+	cfg := &runConfig{
+		url:         "http://x/v1/operations",
+		concurrency: 4,
+		duration:    2 * time.Second,
+		batch:       4,
+		mix:         mix,
+		listEvery:   5,
+	}
+	path := t.TempDir() + "/run.json"
+	if err := rep.writeJSON(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, raw)
+	}
+	if got["schema"] != "opdaemon-loadgen/1" {
+		t.Errorf("schema = %v, want opdaemon-loadgen/1", got["schema"])
+	}
+	if ops, _ := got["operations_per_second"].(float64); ops != 200 {
+		t.Errorf("operations_per_second = %v, want 200", got["operations_per_second"])
+	}
+	lat, _ := got["submit_latency"].(map[string]any)
+	if p50, _ := lat["p50_ms"].(float64); p50 != 2 {
+		t.Errorf("submit_latency.p50_ms = %v, want 2", lat["p50_ms"])
+	}
+	if _, ok := got["list_latency"].(map[string]any); !ok {
+		t.Errorf("list_latency missing from report with list traffic: %s", raw)
+	}
+	codes, _ := got["http_codes"].(map[string]any)
+	if n, _ := codes["202"].(float64); n != 100 {
+		t.Errorf("http_codes[202] = %v, want 100", codes["202"])
+	}
+}
+
 // TestRunWithCancelFrac drives a stub daemon that accepts every
 // submission and alternates cancel outcomes, checking the counters
 // land in the right buckets.
@@ -225,7 +334,7 @@ func TestRunWithCancelFrac(t *testing.T) {
 	defer srv.Close()
 
 	addr := strings.TrimPrefix(srv.URL, "http://")
-	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 1, "noop=1", "", time.Second, 1.0)
+	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 1, "noop=1", "", time.Second, 1.0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -162,7 +162,8 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) list(w http.ResponseWriter, r *http.Request) {
-	status := core.Status(r.URL.Query().Get("status"))
+	query := r.URL.Query()
+	status := core.Status(query.Get("status"))
 	if status != "" && !status.Valid() {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown status filter %q", status))
 		return
@@ -170,7 +171,7 @@ func (s *Server) list(w http.ResponseWriter, r *http.Request) {
 	// limit caps the reply at the N newest matches; absent means
 	// unbounded, for compatibility with pre-limit clients.
 	limit := 0
-	if raw := r.URL.Query().Get("limit"); raw != "" {
+	if raw := query.Get("limit"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n <= 0 {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("limit must be a positive integer, got %q", raw))
@@ -178,9 +179,21 @@ func (s *Server) list(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	ops := s.engine.List(status)
-	if limit > 0 && len(ops) > limit {
-		ops = ops[:limit]
+	// cursor resumes listing strictly after the named operation (pass
+	// the id of the previous page's last element). It is opaque but
+	// shape-checked here so a mangled value is a client error rather
+	// than a silently empty page; a well-formed cursor whose operation
+	// has been TTL-evicted legitimately yields an empty page — the
+	// client fell behind retention and restarts from the top.
+	cursor := query.Get("cursor")
+	if cursor != "" && !core.ValidID(cursor) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed cursor %q", cursor))
+		return
+	}
+	ops, err := s.engine.List(engine.ListQuery{Status: status, Cursor: cursor, Limit: limit})
+	if err != nil {
+		writeEngineError(w, err)
+		return
 	}
 	writeSync(w, http.StatusOK, ops)
 }

@@ -1,0 +1,205 @@
+package api
+
+// End-to-end API benchmarks: every request travels the full
+// router → handler → engine → store → JSON-envelope path through
+// httptest recorders, so a regression anywhere in that stack shows up
+// here even if the store microbenchmarks stay flat. Run via
+// `make bench-e2e` or:
+//
+//	go test -bench=. -benchtime=100x -run '^$' ./internal/api/
+//
+// CI runs the 100x variant on every push. The headline numbers for the
+// read-path work are BenchmarkAPIGet (poll) and BenchmarkAPIList
+// (page), whose costs must not scale with store size.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"opdaemon/internal/core"
+	"opdaemon/internal/engine"
+)
+
+// newBenchServer wires a server whose engine drains instantly-done
+// noop operations, with enough queue headroom that submission
+// benchmarks measure the API path rather than backpressure.
+func newBenchServer(b *testing.B, store engine.Store) (*Server, *engine.Engine) {
+	b.Helper()
+	e := engine.New(engine.Config{Workers: 4, QueueDepth: 1 << 16, Store: store})
+	b.Cleanup(func() { e.Shutdown(context.Background()) })
+	e.Register("noop", func(context.Context, *core.Operation) (any, error) {
+		return nil, nil
+	})
+	return New(e), e
+}
+
+// benchStores enumerates the store configurations the e2e suite runs
+// against: the daemon default plus the single-lock baseline.
+func benchStores() []struct {
+	name string
+	mk   func() engine.Store
+} {
+	return []struct {
+		name string
+		mk   func() engine.Store
+	}{
+		{"mem", engine.NewMemStore},
+		{fmt.Sprintf("sharded-%d", engine.DefaultShardCount()), func() engine.Store { return engine.NewShardedStore(0) }},
+	}
+}
+
+// seedStore fills a store with n terminal operations so read
+// benchmarks operate on a realistically full daemon.
+func seedStore(st engine.Store, n int) []*core.Operation {
+	t0 := time.Unix(1000, 0)
+	ops := make([]*core.Operation, n)
+	for i := range ops {
+		ops[i] = &core.Operation{
+			ID:        core.NewID(),
+			Kind:      "noop",
+			Status:    core.StatusDone,
+			CreatedAt: t0.Add(time.Duration(i) * time.Millisecond),
+			UpdatedAt: t0.Add(time.Duration(i) * time.Millisecond),
+		}
+	}
+	st.PutBatch(ops)
+	return ops
+}
+
+// serve runs one request through the full handler stack and returns
+// the recorder.
+func serve(s *Server, method, path string, body string) *httptest.ResponseRecorder {
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, path, nil)
+	} else {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	return w
+}
+
+// BenchmarkAPISubmit measures single-operation submission end to end.
+// Workers drain the noops concurrently; the occasional 429 under a
+// long -benchtime is the queue's backpressure and still exercises the
+// submission path, so it is counted rather than fatal.
+func BenchmarkAPISubmit(b *testing.B) {
+	for _, bs := range benchStores() {
+		b.Run(bs.name, func(b *testing.B) {
+			s, _ := newBenchServer(b, bs.mk())
+			const body = `{"kind":"noop"}`
+			rejected := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				switch w := serve(s, "POST", "/v1/operations", body); w.Code {
+				case http.StatusAccepted:
+				case http.StatusTooManyRequests:
+					rejected++
+				default:
+					b.Fatalf("submit returned %d: %s", w.Code, w.Body.String())
+				}
+			}
+			b.StopTimer()
+			if rejected > 0 {
+				b.ReportMetric(float64(rejected), "429s")
+			}
+		})
+	}
+}
+
+// BenchmarkAPISubmitBatch10 measures the amortised batch submission
+// path at the batch size the docs quote.
+func BenchmarkAPISubmitBatch10(b *testing.B) {
+	for _, bs := range benchStores() {
+		b.Run(bs.name, func(b *testing.B) {
+			s, _ := newBenchServer(b, bs.mk())
+			body := "[" + strings.Repeat(`{"kind":"noop"},`, 9) + `{"kind":"noop"}]`
+			rejected := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				switch w := serve(s, "POST", "/v1/operations", body); w.Code {
+				case http.StatusAccepted:
+				case http.StatusTooManyRequests:
+					rejected++
+				default:
+					b.Fatalf("batch submit returned %d: %s", w.Code, w.Body.String())
+				}
+			}
+			b.StopTimer()
+			if rejected > 0 {
+				b.ReportMetric(float64(rejected), "429s")
+			}
+		})
+	}
+}
+
+// BenchmarkAPIGet measures the poll hot path — the request snapd-style
+// clients issue in a tight loop — against a 10k-operation store.
+func BenchmarkAPIGet(b *testing.B) {
+	for _, bs := range benchStores() {
+		b.Run(bs.name, func(b *testing.B) {
+			st := bs.mk()
+			ops := seedStore(st, 10_000)
+			s, _ := newBenchServer(b, st)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := serve(s, "GET", "/v1/operations/"+ops[i%len(ops)].ID, "")
+				if w.Code != http.StatusOK {
+					b.Fatalf("get returned %d", w.Code)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAPIList measures a limit=50 page over a 10k-operation
+// store: before the ordered index this cloned and sorted all 10k ops
+// per request; now it touches 50.
+func BenchmarkAPIList(b *testing.B) {
+	for _, bs := range benchStores() {
+		b.Run(bs.name, func(b *testing.B) {
+			st := bs.mk()
+			seedStore(st, 10_000)
+			s, _ := newBenchServer(b, st)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := serve(s, "GET", "/v1/operations?limit=50", "")
+				if w.Code != http.StatusOK {
+					b.Fatalf("list returned %d", w.Code)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAPIListCursor measures a mid-stream cursor page, which adds
+// the cursor resolution (one point lookup + per-shard binary search)
+// to the page cost.
+func BenchmarkAPIListCursor(b *testing.B) {
+	for _, bs := range benchStores() {
+		b.Run(bs.name, func(b *testing.B) {
+			st := bs.mk()
+			ops := seedStore(st, 10_000)
+			s, _ := newBenchServer(b, st)
+			cursor := ops[len(ops)/2].ID
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := serve(s, "GET", "/v1/operations?limit=50&cursor="+cursor, "")
+				if w.Code != http.StatusOK {
+					b.Fatalf("cursor list returned %d", w.Code)
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -278,8 +279,8 @@ func TestSubmitBatchValidationErrorEnvelope(t *testing.T) {
 	}
 
 	// Atomic rejection: the valid first item must not have been run.
-	if ops := e.List(""); len(ops) != 0 {
-		t.Errorf("engine holds %d ops after rejected batch, want 0", len(ops))
+	if ops, err := e.List(engine.ListQuery{}); err != nil || len(ops) != 0 {
+		t.Errorf("engine holds %d ops after rejected batch (err %v), want 0", len(ops), err)
 	}
 }
 
@@ -471,6 +472,105 @@ func TestListLimit(t *testing.T) {
 	for _, bad := range []string{"0", "-1", "x", "1.5"} {
 		w, resp := doJSON(t, s, "GET", "/v1/operations?limit="+bad, "")
 		checkEnvelope(t, w, resp, "error", http.StatusBadRequest)
+	}
+}
+
+func TestListCursorPagination(t *testing.T) {
+	s, e := newTestServer(t)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		_, resp := doJSON(t, s, "POST", "/v1/operations", `{"kind":"echo"}`)
+		ids = append(ids, resp.Result.(map[string]any)["id"].(string))
+	}
+	for _, id := range ids {
+		waitTerminal(t, e, id)
+	}
+
+	// Page through the whole store two at a time; the pages must chain
+	// via the last element's id, never repeat an op, and cover all 5.
+	seen := map[string]bool{}
+	cursor := ""
+	pages := 0
+	for {
+		url := "/v1/operations?limit=2"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		w, resp := doJSON(t, s, "GET", url, "")
+		checkEnvelope(t, w, resp, "sync", http.StatusOK)
+		ops, _ := resp.Result.([]any)
+		if len(ops) == 0 {
+			break
+		}
+		for _, raw := range ops {
+			id := raw.(map[string]any)["id"].(string)
+			if seen[id] {
+				t.Fatalf("cursor pages repeated op %s", id)
+			}
+			seen[id] = true
+		}
+		cursor = ops[len(ops)-1].(map[string]any)["id"].(string)
+		if pages++; pages > 10 {
+			t.Fatal("cursor walk never terminated")
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("cursor walk saw %d ops, want 5", len(seen))
+	}
+
+	// Cursor composes with the status filter.
+	_, resp := doJSON(t, s, "GET", "/v1/operations?status=done&cursor="+ids[4]+"&limit=10", "")
+	if ops, _ := resp.Result.([]any); len(ops) != 4 {
+		t.Errorf("status=done after newest cursor returned %d ops, want the 4 older ones", len(ops))
+	}
+}
+
+func TestListCursorMalformedIs400(t *testing.T) {
+	s, _ := newTestServer(t)
+	for _, bad := range []string{
+		"notanid",
+		"UPPERCASEUPPERCASEUPPERCASEUPPER",
+		strings.Repeat("a", 31),
+		strings.Repeat("a", 33),
+		strings.Repeat("g", 32), // right length, not hex
+	} {
+		w, resp := doJSON(t, s, "GET", "/v1/operations?cursor="+bad, "")
+		checkEnvelope(t, w, resp, "error", http.StatusBadRequest)
+	}
+}
+
+func TestListCursorEvictedYieldsEmptyPage(t *testing.T) {
+	// A well-formed cursor whose operation the janitor already evicted
+	// is not an error: the client fell behind retention and gets an
+	// empty page telling it to restart from the top.
+	var clockMu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	}
+	e := engine.New(engine.Config{Workers: 1, Clock: clock, OpTTL: time.Minute, GCInterval: time.Hour})
+	t.Cleanup(func() { e.Shutdown(context.Background()) })
+	e.Register("echo", func(_ context.Context, op *core.Operation) (any, error) {
+		return op.Params, nil
+	})
+	s := New(e)
+
+	_, resp := doJSON(t, s, "POST", "/v1/operations", `{"kind":"echo"}`)
+	id := resp.Result.(map[string]any)["id"].(string)
+	waitTerminal(t, e, id)
+	clockMu.Lock()
+	now = now.Add(2 * time.Minute)
+	clockMu.Unlock()
+	if n := e.GC(); n != 1 {
+		t.Fatalf("GC evicted %d ops, want 1", n)
+	}
+
+	w, resp := doJSON(t, s, "GET", "/v1/operations?cursor="+id, "")
+	checkEnvelope(t, w, resp, "sync", http.StatusOK)
+	if ops, _ := resp.Result.([]any); len(ops) != 0 {
+		t.Errorf("evicted cursor returned %d ops, want empty page", len(ops))
 	}
 }
 

@@ -67,6 +67,13 @@ func (s Status) CanTransition(next Status) bool {
 
 // Operation is a unit of background work tracked by the engine.
 //
+// Operations are immutable once published: every pointer handed to or
+// returned by a store refers to a snapshot that never changes again.
+// State advances by installing a fresh copy (see engine.Store.Update),
+// so readers share pointers freely without locks or clones. Code that
+// builds an Operation may mutate it only until it hands the pointer to
+// a store or another goroutine.
+//
 // Result holds the handler's return value pre-marshalled to JSON: the
 // engine serializes it when the operation completes, so a handler
 // returning an unrepresentable value fails that one operation instead
@@ -89,8 +96,10 @@ type Operation struct {
 	CancelledAt time.Time `json:"cancelled_at,omitzero"`
 }
 
-// Clone returns a shallow copy of the operation safe to hand to another
-// goroutine. Params and Result are shared; callers must treat them as
+// Clone returns a shallow copy of the operation: the write half of the
+// copy-on-write scheme. A store's Update clones the published snapshot,
+// mutates the private copy, and installs it; read paths never clone.
+// Params and Result are shared; all published snapshots treat them as
 // read-only.
 func (op *Operation) Clone() *Operation {
 	c := *op
@@ -155,6 +164,22 @@ type BatchError struct {
 // Error summarises the rejection; the per-item details are in Items.
 func (e *BatchError) Error() string {
 	return fmt.Sprintf("batch rejected: %d of %d items invalid", len(e.Items), e.Total)
+}
+
+// ValidID reports whether id has the shape NewID produces: exactly 32
+// lowercase hex digits. The API layer uses it to reject malformed
+// cursors before they reach the store.
+func ValidID(id string) bool {
+	if len(id) != 32 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // NewID returns a 128-bit random hex identifier for an operation.

@@ -67,6 +67,24 @@ func TestNewIDUnique(t *testing.T) {
 	}
 }
 
+func TestValidID(t *testing.T) {
+	if id := NewID(); !ValidID(id) {
+		t.Errorf("ValidID rejected NewID output %q", id)
+	}
+	for _, bad := range []string{
+		"",
+		"deadbeef",                          // right alphabet, wrong length
+		"DEADBEEFDEADBEEFDEADBEEFDEADBEEF",  // uppercase
+		"gggggggggggggggggggggggggggggggg",  // right length, not hex
+		"0123456789abcdef0123456789abcde",   // 31 chars
+		"0123456789abcdef0123456789abcdef0", // 33 chars
+	} {
+		if ValidID(bad) {
+			t.Errorf("ValidID accepted %q", bad)
+		}
+	}
+}
+
 func TestOperationClone(t *testing.T) {
 	op := &Operation{ID: "x", Status: StatusQueued}
 	c := op.Clone()

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"context"
+	"hash/maphash"
+	"sync"
+)
+
+// cancelRegistry maps in-flight operation IDs to their context cancel
+// functions, partitioned into power-of-two shards by the same maphash
+// the sharded store uses. Workers install/retire an entry around every
+// execution and Cancel looks entries up under client-driven load;
+// sharding keeps those paths from serializing on one registry-wide
+// mutex the way they did when the registry was a single locked map.
+type cancelRegistry struct {
+	shards []cancelShard
+	mask   uint32
+}
+
+// cancelShard is one partition of the registry.
+type cancelShard struct {
+	mu sync.Mutex
+	m  map[string]context.CancelCauseFunc
+}
+
+// newCancelRegistry builds a registry with n shards, normalized by the
+// same policy as the sharded store (GOMAXPROCS-scaled default for
+// n <= 0, power-of-two round-up, clamp).
+func newCancelRegistry(n int) *cancelRegistry {
+	n = normalizeShardCount(n)
+	r := &cancelRegistry{
+		shards: make([]cancelShard, n),
+		mask:   uint32(n - 1),
+	}
+	for i := range r.shards {
+		r.shards[i].m = make(map[string]context.CancelCauseFunc)
+	}
+	return r
+}
+
+func (r *cancelRegistry) shard(id string) *cancelShard {
+	return &r.shards[uint32(maphash.String(shardSeed, id))&r.mask]
+}
+
+// install publishes the operation's cancel function for cancel to
+// find.
+func (r *cancelRegistry) install(id string, fn context.CancelCauseFunc) {
+	sh := r.shard(id)
+	sh.mu.Lock()
+	sh.m[id] = fn
+	sh.mu.Unlock()
+}
+
+// retire removes the operation's cancel function once it has settled.
+func (r *cancelRegistry) retire(id string) {
+	sh := r.shard(id)
+	sh.mu.Lock()
+	delete(sh.m, id)
+	sh.mu.Unlock()
+}
+
+// cancel invokes the operation's cancel function with the given cause,
+// reporting whether an entry was present. A missing entry means the
+// operation settled in the race window; the caller treats that as a
+// harmless no-op.
+func (r *cancelRegistry) cancel(id string, cause error) bool {
+	sh := r.shard(id)
+	sh.mu.Lock()
+	fn, ok := sh.m[id]
+	sh.mu.Unlock()
+	if ok {
+		// Invoke outside the shard lock: context cancellation fans out
+		// to registered children and need not serialize other
+		// operations' installs and retires on this shard.
+		fn(cause)
+	}
+	return ok
+}

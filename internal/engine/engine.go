@@ -23,8 +23,9 @@ import (
 
 // Handler executes one kind of operation. It receives the operation's
 // own context — cancelled when the operation is aborted, its deadline
-// expires, or the engine shuts down — and a snapshot of the operation,
-// and returns a JSON-serialisable result or an error. Handlers that
+// expires, or the engine shuts down — and the operation's published
+// snapshot (immutable and shared; read it, never mutate it), and
+// returns a JSON-serialisable result or an error. Handlers that
 // honour ctx are cancellable; handlers that ignore it run to
 // completion regardless.
 type Handler func(ctx context.Context, op *core.Operation) (any, error)
@@ -94,11 +95,11 @@ type Engine struct {
 	handlers        map[string]registration
 	closed          bool
 
-	// cancelMu guards cancels, the registry of in-flight operations'
-	// cancel functions. It is separate from mu so Cancel never
-	// contends with the submission path.
-	cancelMu sync.Mutex
-	cancels  map[string]context.CancelCauseFunc
+	// cancels is the sharded registry of in-flight operations' cancel
+	// functions. It has its own locks so Cancel never contends with
+	// the submission path, and it is sharded so concurrent cancels and
+	// worker install/retire traffic rarely contend with each other.
+	cancels *cancelRegistry
 }
 
 // New builds and starts an engine; workers begin draining the queue
@@ -111,7 +112,7 @@ func New(cfg Config) *Engine {
 		cfg.QueueDepth = 1024
 	}
 	if cfg.Store == nil {
-		cfg.Store = NewShardedStore(DefaultShardCount)
+		cfg.Store = NewShardedStore(0)
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
@@ -137,7 +138,7 @@ func New(cfg Config) *Engine {
 		runCtx:          ctx,
 		runStop:         stop,
 		handlers:        make(map[string]registration),
-		cancels:         make(map[string]context.CancelCauseFunc),
+		cancels:         newCancelRegistry(0),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
@@ -360,25 +361,18 @@ func (e *Engine) SubmitBatch(items []BatchItem) ([]*core.Operation, error) {
 	return ops, nil
 }
 
-// Get returns a snapshot of the operation, or core.ErrNotFound.
+// Get returns the operation's published snapshot, or core.ErrNotFound.
+// The snapshot is an immutable shared pointer — it never changes, and
+// callers must not mutate it.
 func (e *Engine) Get(id string) (*core.Operation, error) {
 	return e.store.Get(id)
 }
 
-// List returns snapshots of all known operations, newest first,
-// optionally filtered to one status.
-func (e *Engine) List(status core.Status) []*core.Operation {
-	ops := e.store.List()
-	if status == "" {
-		return ops
-	}
-	out := make([]*core.Operation, 0, len(ops))
-	for _, op := range ops {
-		if op.Status == status {
-			out = append(out, op)
-		}
-	}
-	return out
+// List returns the page of published snapshots selected by q, newest
+// first (ties broken by ascending ID). Pages cost O(limit), not
+// O(store size); see ListQuery for cursor and filter semantics.
+func (e *Engine) List(q ListQuery) ([]*core.Operation, error) {
+	return e.store.List(q)
 }
 
 // Cancel aborts the operation and returns its latest snapshot. A
@@ -419,35 +413,15 @@ func (e *Engine) Cancel(id string) (*core.Operation, error) {
 		// The registry entry is installed before the queued→running
 		// transition and removed only after the terminal one, so a
 		// store status of running guarantees it is present — unless
-		// the handler finished in between, in which case cancelling
-		// the dead context is a harmless no-op and the poll shows the
-		// operation's actual outcome.
-		e.cancelMu.Lock()
-		if cancel, ok := e.cancels[id]; ok {
-			cancel(core.ErrCancelled)
-		}
-		e.cancelMu.Unlock()
+		// the handler finished in between, in which case the missing
+		// entry (or cancelling the dead context) is a harmless no-op
+		// and the poll shows the operation's actual outcome.
+		e.cancels.cancel(id, core.ErrCancelled)
 	}
 	if !cancelled && !running {
 		return nil, fmt.Errorf("%w: %s", core.ErrAlreadyTerminal, id)
 	}
 	return e.store.Get(id)
-}
-
-// registerCancel publishes the operation's cancel function for Cancel
-// to find.
-func (e *Engine) registerCancel(id string, cancel context.CancelCauseFunc) {
-	e.cancelMu.Lock()
-	e.cancels[id] = cancel
-	e.cancelMu.Unlock()
-}
-
-// unregisterCancel retires the operation's cancel function once it has
-// settled.
-func (e *Engine) unregisterCancel(id string) {
-	e.cancelMu.Lock()
-	delete(e.cancels, id)
-	e.cancelMu.Unlock()
 }
 
 // Shutdown stops accepting submissions, drains queued operations, and
@@ -561,8 +535,8 @@ func (e *Engine) run(id string) {
 	// Publish the cancel func before the running transition and
 	// retire it only after the terminal one, so Cancel observing
 	// status running always finds it.
-	e.registerCancel(id, cancel)
-	defer e.unregisterCancel(id)
+	e.cancels.install(id, cancel)
+	defer e.cancels.retire(id)
 
 	if !e.transition(id, core.StatusRunning, nil, nil) {
 		// Cancelled between dequeue and start; never run the handler.

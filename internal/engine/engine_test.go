@@ -33,6 +33,17 @@ func waitOp(e *Engine, id string, pred func(*core.Operation) bool) (*core.Operat
 
 func terminal(op *core.Operation) bool { return op.Status.Terminal() }
 
+// listEngine lists one page through the engine, failing the test on
+// error.
+func listEngine(t *testing.T, e *Engine, q ListQuery) []*core.Operation {
+	t.Helper()
+	ops, err := e.List(q)
+	if err != nil {
+		t.Fatalf("List(%+v): %v", q, err)
+	}
+	return ops
+}
+
 // waitStatus polls until the operation reaches a terminal status.
 func waitStatus(t *testing.T, e *Engine, id string) *core.Operation {
 	t.Helper()
@@ -189,7 +200,7 @@ func TestConcurrentSubmitPoll(t *testing.T) {
 		t.Error(err)
 	}
 
-	if got := len(e.List(core.StatusDone)); got != clients*perClient {
+	if got := len(listEngine(t, e, ListQuery{Status: core.StatusDone})); got != clients*perClient {
 		t.Errorf("done operations = %d, want %d", got, clients*perClient)
 	}
 }
@@ -215,14 +226,14 @@ func TestListFilterAndOrder(t *testing.T) {
 	waitStatus(t, e, first.ID)
 	waitStatus(t, e, second.ID)
 
-	all := e.List("")
+	all := listEngine(t, e, ListQuery{})
 	if len(all) != 2 {
-		t.Fatalf("List(\"\") = %d ops, want 2", len(all))
+		t.Fatalf("List({}) = %d ops, want 2", len(all))
 	}
 	if all[0].ID != second.ID {
 		t.Errorf("newest-first order violated: got %s first, want %s", all[0].ID, second.ID)
 	}
-	failed := e.List(core.StatusFailed)
+	failed := listEngine(t, e, ListQuery{Status: core.StatusFailed})
 	if len(failed) != 1 || failed[0].ID != second.ID {
 		t.Errorf("List(failed) = %v, want exactly %s", failed, second.ID)
 	}
@@ -364,7 +375,7 @@ func TestSubmitBatchValidatesAtomically(t *testing.T) {
 		t.Errorf("second item error = index %d, %v; want index 3, *core.InvalidError", berr.Items[1].Index, berr.Items[1].Err)
 	}
 	// Atomicity: the valid items must not have been stored or run.
-	if got := len(e.List("")); got != 0 {
+	if got := len(listEngine(t, e, ListQuery{})); got != 0 {
 		t.Errorf("store holds %d ops after rejected batch, want 0", got)
 	}
 }
@@ -410,7 +421,7 @@ func TestSubmitBatchQueueFullIsAllOrNothing(t *testing.T) {
 	if over != nil {
 		t.Errorf("overflowing batch returned ops %v, want nil", over)
 	}
-	if got := len(e.List("")); got != 2 {
+	if got := len(listEngine(t, e, ListQuery{})); got != 2 {
 		t.Errorf("store holds %d ops after rejected batch, want 2 (no partial enqueue)", got)
 	}
 
@@ -439,7 +450,7 @@ func TestSubmitBatchLargerThanQueueCapacity(t *testing.T) {
 	if !errors.As(err, &inv) {
 		t.Fatalf("over-capacity batch error = %v, want *core.InvalidError", err)
 	}
-	if got := len(e.List("")); got != 0 {
+	if got := len(listEngine(t, e, ListQuery{})); got != 0 {
 		t.Errorf("store holds %d ops after over-capacity batch, want 0", got)
 	}
 }
@@ -799,7 +810,7 @@ func TestQueueFull(t *testing.T) {
 	if over != nil {
 		t.Errorf("overflow submission returned op %v, want nil", over)
 	}
-	if got := len(e.List("")); got != 2 {
+	if got := len(listEngine(t, e, ListQuery{})); got != 2 {
 		t.Errorf("store holds %d ops after overflow, want 2 (no phantom record)", got)
 	}
 	close(release)

@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation allocates and would invalidate the
+// AllocsPerRun regression tests.
+const raceEnabled = true

@@ -1,36 +1,66 @@
 package engine
 
 import (
-	"sort"
-	"sync"
 	"time"
 
 	"opdaemon/internal/core"
 )
 
+// ListQuery selects a page of operations from a Store.
+type ListQuery struct {
+	// Status filters the page to one lifecycle state; empty matches
+	// all.
+	Status core.Status
+	// Cursor resumes listing strictly after the operation with this ID
+	// in newest-first order; empty starts at the newest operation. A
+	// cursor naming an operation the store no longer holds (TTL
+	// eviction, deletion) yields an empty page: the caller fell behind
+	// retention and must restart from the top.
+	Cursor string
+	// Limit caps the page size; <= 0 means unbounded.
+	Limit int
+}
+
 // Store persists operation state. The engine talks to storage only
 // through this interface so a sharded or durable implementation can
 // replace the in-memory one without touching scheduling code.
 //
-// Implementations must be safe for concurrent use and must return
-// snapshots: callers may not observe later mutations through a
-// returned *core.Operation.
+// Implementations must be safe for concurrent use and must honour the
+// copy-on-write immutability contract: every *core.Operation that
+// crosses this interface is an immutable published snapshot.
+//
+//   - Put/PutBatch take ownership of their arguments; the caller must
+//     not mutate an operation after handing it over (reading it is
+//     always safe — it never changes).
+//   - Get/List return shared pointers to published snapshots, never
+//     clones. Callers may hold them forever and will never observe a
+//     later transition through them; callers must not mutate them.
+//   - Update is the only mutation path: it clones the stored snapshot,
+//     applies fn to the private clone, and publishes the clone
+//     atomically. fn must not retain the operation past its return.
+//
+// The conformance suite in store_conformance_test.go holds every
+// implementation to this contract.
 type Store interface {
-	// Put inserts or replaces the operation keyed by op.ID. The
-	// store must not retain op itself — copy before storing — since
-	// the caller keeps using the pointer after Put returns.
+	// Put inserts or replaces the operation keyed by op.ID, taking
+	// ownership of op.
 	Put(op *core.Operation)
 	// PutBatch inserts or replaces every operation, amortising lock
 	// acquisitions across the batch where the implementation allows.
-	// The same no-retention rule as Put applies to each element.
+	// Ownership of each element transfers as with Put.
 	PutBatch(ops []*core.Operation)
-	// Get returns a snapshot of the operation, or core.ErrNotFound.
+	// Get returns the published snapshot, or core.ErrNotFound.
 	Get(id string) (*core.Operation, error)
-	// List returns snapshots of all operations, newest first.
-	List() []*core.Operation
-	// Update applies fn to the stored operation under the store's
-	// lock, making read-modify-write transitions atomic. Returns
-	// core.ErrNotFound if the ID is unknown.
+	// List returns the page of published snapshots selected by q, in
+	// newest-first order (ties broken by ascending ID). The page costs
+	// O(limit), not O(store size); an unknown cursor yields an empty
+	// page (see ListQuery.Cursor). The error is reserved for fallible
+	// backends; in-memory implementations always return nil.
+	List(q ListQuery) ([]*core.Operation, error)
+	// Update applies fn to a clone of the stored operation under the
+	// store's lock and publishes the clone, making read-modify-write
+	// transitions atomic. fn must not change the operation's ID.
+	// Returns core.ErrNotFound if the ID is unknown.
 	Update(id string, fn func(op *core.Operation)) error
 	// Delete removes the operation; deleting an unknown ID is a
 	// no-op.
@@ -45,116 +75,71 @@ type Store interface {
 	Len() int
 }
 
-// memStore is the single-mutex in-memory Store: the simplest correct
-// implementation, kept as the conformance reference and the benchmark
-// baseline that shardedStore must beat under contention.
+// memStore is the single-lock in-memory Store: one storeShard without
+// the hashing. It is the simplest correct implementation, kept as the
+// conformance reference and the benchmark baseline that shardedStore
+// must beat under contention.
 type memStore struct {
-	mu  sync.RWMutex
-	ops map[string]*core.Operation
+	shard storeShard
 }
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() Store {
-	return &memStore{ops: make(map[string]*core.Operation)}
+	return &memStore{shard: storeShard{ops: make(map[string]*core.Operation)}}
 }
 
 func (s *memStore) Put(op *core.Operation) {
-	// Clone outside the critical section: the copy is per-operation
-	// work, only the map assignment needs the lock.
-	c := op.Clone()
-	s.mu.Lock()
-	s.ops[c.ID] = c
-	s.mu.Unlock()
+	s.shard.put(op)
 }
 
 func (s *memStore) PutBatch(ops []*core.Operation) {
-	if len(ops) == 1 {
-		s.Put(ops[0])
-		return
+	s.shard.mu.Lock()
+	for _, op := range ops {
+		s.shard.putLocked(op)
 	}
-	clones := make([]*core.Operation, len(ops))
-	for i, op := range ops {
-		clones[i] = op.Clone()
-	}
-	s.mu.Lock()
-	for _, c := range clones {
-		s.ops[c.ID] = c
-	}
-	s.mu.Unlock()
+	s.shard.mu.Unlock()
 }
 
 func (s *memStore) Get(id string) (*core.Operation, error) {
-	// Allocate the snapshot before taking the lock so the critical
-	// section is a fixed-size copy, never a trip through the
-	// allocator (which can stall on GC assist).
-	out := new(core.Operation)
-	s.mu.RLock()
-	op, ok := s.ops[id]
-	if ok {
-		*out = *op
-	}
-	s.mu.RUnlock()
-	if !ok {
-		return nil, core.ErrNotFound
-	}
-	return out, nil
+	return s.shard.get(id)
 }
 
-func (s *memStore) List() []*core.Operation {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*core.Operation, 0, len(s.ops))
-	for _, op := range s.ops {
-		out = append(out, op.Clone())
-	}
-	sortNewestFirst(out)
-	return out
-}
-
-// sortNewestFirst orders operations newest first, breaking CreatedAt
-// ties by ID so List output is stable. Shared by every Store
-// implementation so they agree on ordering exactly.
-func sortNewestFirst(ops []*core.Operation) {
-	sort.Slice(ops, func(i, j int) bool {
-		if !ops[i].CreatedAt.Equal(ops[j].CreatedAt) {
-			return ops[i].CreatedAt.After(ops[j].CreatedAt)
+func (s *memStore) List(q ListQuery) ([]*core.Operation, error) {
+	sh := &s.shard
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	hasCursor := q.Cursor != ""
+	var key *core.Operation
+	if hasCursor {
+		var ok bool
+		if key, ok = sh.ops[q.Cursor]; !ok {
+			return []*core.Operation{}, nil
 		}
-		return ops[i].ID < ops[j].ID
-	})
+	}
+	cursors := []listCursor{{ops: sh.ix.ops, pos: startPosFor(sh, key)}}
+	return collectNewest(cursors, q), nil
+}
+
+// startPosFor adapts storeShard.startPos to an optional cursor key.
+func startPosFor(sh *storeShard, key *core.Operation) int {
+	if key == nil {
+		return sh.startPos(false, time.Time{}, "")
+	}
+	return sh.startPos(true, key.CreatedAt, key.ID)
 }
 
 func (s *memStore) Update(id string, fn func(op *core.Operation)) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	op, ok := s.ops[id]
-	if !ok {
-		return core.ErrNotFound
-	}
-	fn(op)
-	return nil
+	return s.shard.update(id, fn)
 }
 
 func (s *memStore) Delete(id string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.ops, id)
+	s.shard.delete(id)
 }
 
 func (s *memStore) SweepTerminalBefore(cutoff time.Time) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	evicted := 0
-	for id, op := range s.ops {
-		if op.Status.Terminal() && op.UpdatedAt.Before(cutoff) {
-			delete(s.ops, id)
-			evicted++
-		}
-	}
-	return evicted
+	return s.shard.sweepTerminalBefore(cutoff)
 }
 
 func (s *memStore) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.ops)
+	return s.shard.len()
 }

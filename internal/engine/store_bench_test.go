@@ -1,6 +1,6 @@
 package engine
 
-// Benchmarks comparing the single-mutex memStore against the sharded
+// Benchmarks comparing the single-lock memStore against the sharded
 // store. The serial variants establish that sharding costs nothing
 // when there is no contention; the parallel variants are the ones the
 // sharded store exists to win. Run via `make bench` or:
@@ -9,6 +9,11 @@ package engine
 //
 // CI runs the 100x variant on every push so a perf regression is
 // visible in the logs next to the test results.
+//
+// The read-path criteria to watch: BenchmarkStoreGet must report
+// 0 allocs/op (copy-on-write snapshots hand out shared pointers), and
+// BenchmarkStoreList/limit=50 must report the same allocs/op at every
+// store size (the ordered index makes a page O(limit), not O(n)).
 
 import (
 	"fmt"
@@ -20,7 +25,7 @@ import (
 )
 
 // benchImpls pairs each Store implementation with a label; sharded
-// runs at the default count the daemon ships with.
+// runs at the count the daemon ships with on this hardware.
 func benchImpls() []struct {
 	name string
 	mk   func() Store
@@ -30,7 +35,7 @@ func benchImpls() []struct {
 		mk   func() Store
 	}{
 		{"mem", NewMemStore},
-		{fmt.Sprintf("sharded-%d", DefaultShardCount), func() Store { return NewShardedStore(DefaultShardCount) }},
+		{fmt.Sprintf("sharded-%d", DefaultShardCount()), func() Store { return NewShardedStore(0) }},
 	}
 }
 
@@ -44,6 +49,25 @@ func prepopulate(s Store, n int) []*core.Operation {
 	}
 	s.PutBatch(ops)
 	return ops
+}
+
+// BenchmarkStoreGet measures the poll hot path. The acceptance bar is
+// 0 allocs/op: Get returns the published snapshot pointer, never a
+// clone.
+func BenchmarkStoreGet(b *testing.B) {
+	for _, impl := range benchImpls() {
+		b.Run(impl.name, func(b *testing.B) {
+			s := impl.mk()
+			ops := prepopulate(s, 4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Get(ops[i%len(ops)].ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkStoreGetPut measures the uncontended single-goroutine
@@ -101,7 +125,8 @@ func BenchmarkStoreGetPutParallel(b *testing.B) {
 
 // BenchmarkStoreUpdateParallel measures contended read-modify-write
 // transitions, the engine's hot path when workers complete operations
-// while clients poll.
+// while clients poll. Copy-on-write moved the snapshot allocation
+// here, off the read path — expect exactly one alloc/op.
 func BenchmarkStoreUpdateParallel(b *testing.B) {
 	for _, impl := range benchImpls() {
 		b.Run(impl.name, func(b *testing.B) {
@@ -148,19 +173,50 @@ func BenchmarkStorePutBatch(b *testing.B) {
 	}
 }
 
-// BenchmarkStoreList measures the merged snapshot over a populated
-// store; the sharded implementation pays a per-shard lock plus one
-// global sort.
+// BenchmarkStoreList measures a snapd-style poll page — limit=50,
+// newest first — at growing store sizes. The ordered per-shard index
+// makes both time and allocations independent of store size; compare
+// the 1k and 10k rows to verify.
 func BenchmarkStoreList(b *testing.B) {
+	const limit = 50
+	for _, impl := range benchImpls() {
+		for _, size := range []int{1_000, 10_000} {
+			b.Run(fmt.Sprintf("%s/limit=%d/size=%d", impl.name, limit, size), func(b *testing.B) {
+				s := impl.mk()
+				prepopulate(s, size)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					page, err := s.List(ListQuery{Limit: limit})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(page) != limit {
+						b.Fatalf("List returned %d ops, want %d", len(page), limit)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkStoreListAll measures the unbounded listing (no limit) —
+// the worst case the cursor API exists to let clients avoid.
+func BenchmarkStoreListAll(b *testing.B) {
+	const size = 4096
 	for _, impl := range benchImpls() {
 		b.Run(impl.name, func(b *testing.B) {
 			s := impl.mk()
-			prepopulate(s, 4096)
+			prepopulate(s, size)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if got := len(s.List()); got != 4096 {
-					b.Fatalf("List returned %d ops, want 4096", got)
+				page, err := s.List(ListQuery{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(page) != size {
+					b.Fatalf("List returned %d ops, want %d", len(page), size)
 				}
 			}
 		})

@@ -1,10 +1,11 @@
 package engine
 
 // Conformance suite for the Store interface. Every implementation —
-// the single-mutex memStore and the sharded store at several shard
-// counts — must pass the identical contract: per-operation snapshot
-// semantics, atomic Update under contention, and newest-first List
-// ordering with a stable ID tie-break.
+// the single-lock memStore and the sharded store at several shard
+// counts — must pass the identical contract: copy-on-write
+// immutability of published snapshots, atomic Update under contention,
+// newest-first List ordering with a stable ID tie-break, and cursor
+// pagination that tolerates TTL eviction.
 
 import (
 	"errors"
@@ -51,6 +52,26 @@ func mkOp(id string, at time.Time) *core.Operation {
 	}
 }
 
+// listAll returns the full newest-first listing, failing the test on
+// error.
+func listAll(t *testing.T, s Store) []*core.Operation {
+	t.Helper()
+	ops, err := s.List(ListQuery{})
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	return ops
+}
+
+// listIDs flattens a page to its IDs for order assertions.
+func listIDs(ops []*core.Operation) []string {
+	ids := make([]string, len(ops))
+	for i, op := range ops {
+		ids[i] = op.ID
+	}
+	return ids
+}
+
 // runStoreConformance runs the full contract against fresh stores from
 // mk.
 func runStoreConformance(t *testing.T, mk func() Store) {
@@ -71,51 +92,41 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 		}
 	})
 
-	t.Run("PutDoesNotRetainCaller", func(t *testing.T) {
-		s := mk()
-		op := mkOp("a", t0)
-		s.Put(op)
-		op.Status = core.StatusFailed // mutate after Put; store must hold a copy
-		got, err := s.Get("a")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got.Status != core.StatusQueued {
-			t.Errorf("stored op observed caller mutation: status = %s", got.Status)
-		}
-	})
-
-	t.Run("GetReturnsSnapshot", func(t *testing.T) {
+	// The copy-on-write contract: snapshots handed out by Get and List
+	// are immutable — a later Update must never be observable through
+	// a previously returned pointer, because Update publishes a fresh
+	// copy instead of mutating in place.
+	t.Run("PublishedSnapshotsAreImmutable", func(t *testing.T) {
 		s := mk()
 		s.Put(mkOp("a", t0))
-		first, err := s.Get("a")
+		before, err := s.Get("a")
 		if err != nil {
 			t.Fatal(err)
 		}
-		first.Status = core.StatusDone // mutate the snapshot; store must be unaffected
-		second, err := s.Get("a")
+		pageBefore := listAll(t, s)
+		if err := s.Update("a", func(op *core.Operation) {
+			op.Status = core.StatusRunning
+			op.UpdatedAt = t0.Add(time.Minute)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if before.Status != core.StatusQueued || !before.UpdatedAt.Equal(t0) {
+			t.Errorf("Update mutated a published snapshot in place: status=%s updated=%v",
+				before.Status, before.UpdatedAt)
+		}
+		if pageBefore[0].Status != core.StatusQueued {
+			t.Errorf("Update mutated a listed snapshot in place: status=%s", pageBefore[0].Status)
+		}
+		after, err := s.Get("a")
 		if err != nil {
 			t.Fatal(err)
 		}
-		if second.Status != core.StatusQueued {
-			t.Errorf("snapshot mutation leaked into store: status = %s", second.Status)
+		if after.Status != core.StatusRunning {
+			t.Errorf("Get after Update = %s, want running (fresh copy published)", after.Status)
 		}
 	})
 
-	t.Run("ListReturnsSnapshots", func(t *testing.T) {
-		s := mk()
-		s.Put(mkOp("a", t0))
-		s.List()[0].Status = core.StatusFailed
-		got, err := s.Get("a")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got.Status != core.StatusQueued {
-			t.Errorf("List snapshot mutation leaked into store: status = %s", got.Status)
-		}
-	})
-
-	t.Run("PutBatchStoresAllAsCopies", func(t *testing.T) {
+	t.Run("PutBatchStoresAll", func(t *testing.T) {
 		s := mk()
 		ops := make([]*core.Operation, 10)
 		for i := range ops {
@@ -125,13 +136,14 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 		if got := s.Len(); got != len(ops) {
 			t.Fatalf("Len after PutBatch = %d, want %d", got, len(ops))
 		}
-		ops[3].Status = core.StatusFailed // batch elements must have been copied
-		got, err := s.Get("op-03")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got.Status != core.StatusQueued {
-			t.Errorf("PutBatch retained caller pointer: status = %s", got.Status)
+		for _, op := range ops {
+			got, err := s.Get(op.ID)
+			if err != nil {
+				t.Fatalf("Get(%s): %v", op.ID, err)
+			}
+			if got.Status != core.StatusQueued {
+				t.Errorf("batched op %s status = %s, want queued", op.ID, got.Status)
+			}
 		}
 	})
 
@@ -153,6 +165,22 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 		}
 	})
 
+	t.Run("PutReplaceWithNewCreatedAtReorders", func(t *testing.T) {
+		s := mk()
+		s.Put(mkOp("a", t0))
+		s.Put(mkOp("b", t0.Add(time.Second)))
+		// Re-put a with a newer CreatedAt: the index entry must move,
+		// not duplicate.
+		s.Put(mkOp("a", t0.Add(2*time.Second)))
+		want := []string{"a", "b"}
+		if got := listIDs(listAll(t, s)); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("List after re-put = %v, want %v", got, want)
+		}
+		if s.Len() != 2 {
+			t.Errorf("Len after re-put = %d, want 2", s.Len())
+		}
+	})
+
 	t.Run("ListNewestFirst", func(t *testing.T) {
 		s := mk()
 		// Insert out of order; two share a CreatedAt to exercise the
@@ -161,13 +189,184 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 		s.Put(mkOp("old", t0))
 		s.Put(mkOp("new", t0.Add(2*time.Second)))
 		s.Put(mkOp("mid-a", t0.Add(time.Second)))
-		var ids []string
-		for _, op := range s.List() {
-			ids = append(ids, op.ID)
-		}
 		want := []string{"new", "mid-a", "mid-b", "old"}
-		if fmt.Sprint(ids) != fmt.Sprint(want) {
-			t.Errorf("List order = %v, want %v", ids, want)
+		if got := listIDs(listAll(t, s)); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("List order = %v, want %v", got, want)
+		}
+	})
+
+	t.Run("ListLimit", func(t *testing.T) {
+		s := mk()
+		for i := 0; i < 5; i++ {
+			s.Put(mkOp(fmt.Sprintf("op-%d", i), t0.Add(time.Duration(i)*time.Second)))
+		}
+		page, err := s.List(ListQuery{Limit: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := []string{"op-4", "op-3"}; fmt.Sprint(listIDs(page)) != fmt.Sprint(want) {
+			t.Errorf("List(limit=2) = %v, want %v", listIDs(page), want)
+		}
+		if page, _ := s.List(ListQuery{Limit: 100}); len(page) != 5 {
+			t.Errorf("List(limit=100) returned %d ops, want all 5", len(page))
+		}
+	})
+
+	t.Run("ListStatusFilter", func(t *testing.T) {
+		s := mk()
+		for i := 0; i < 6; i++ {
+			op := mkOp(fmt.Sprintf("op-%d", i), t0.Add(time.Duration(i)*time.Second))
+			if i%2 == 0 {
+				op.Status = core.StatusDone
+			}
+			s.Put(op)
+		}
+		done, err := s.List(ListQuery{Status: core.StatusDone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := []string{"op-4", "op-2", "op-0"}; fmt.Sprint(listIDs(done)) != fmt.Sprint(want) {
+			t.Errorf("List(status=done) = %v, want %v", listIDs(done), want)
+		}
+		capped, _ := s.List(ListQuery{Status: core.StatusDone, Limit: 2})
+		if want := []string{"op-4", "op-2"}; fmt.Sprint(listIDs(capped)) != fmt.Sprint(want) {
+			t.Errorf("List(status=done, limit=2) = %v, want %v", listIDs(capped), want)
+		}
+	})
+
+	t.Run("CursorPagination", func(t *testing.T) {
+		s := mk()
+		const n = 7
+		for i := 0; i < n; i++ {
+			s.Put(mkOp(fmt.Sprintf("op-%d", i), t0.Add(time.Duration(i)*time.Second)))
+		}
+		full := listIDs(listAll(t, s))
+
+		// Walk the whole store in pages of 2 and require the
+		// concatenation to equal the one-shot listing exactly.
+		var paged []string
+		cursor := ""
+		for {
+			page, err := s.List(ListQuery{Cursor: cursor, Limit: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(page) == 0 {
+				break
+			}
+			paged = append(paged, listIDs(page)...)
+			cursor = page[len(page)-1].ID
+		}
+		if fmt.Sprint(paged) != fmt.Sprint(full) {
+			t.Errorf("paged walk = %v, want %v", paged, full)
+		}
+
+		// A cursor without a limit returns the whole remainder.
+		rest, err := s.List(ListQuery{Cursor: "op-4"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := []string{"op-3", "op-2", "op-1", "op-0"}; fmt.Sprint(listIDs(rest)) != fmt.Sprint(want) {
+			t.Errorf("List(cursor=op-4) = %v, want %v", listIDs(rest), want)
+		}
+	})
+
+	t.Run("CursorWithTies", func(t *testing.T) {
+		s := mk()
+		// All four share CreatedAt; order is ascending ID, and a
+		// cursor in the middle of the tie must not skip or repeat.
+		for _, id := range []string{"c", "a", "d", "b"} {
+			s.Put(mkOp(id, t0))
+		}
+		page, err := s.List(ListQuery{Cursor: "b", Limit: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := []string{"c", "d"}; fmt.Sprint(listIDs(page)) != fmt.Sprint(want) {
+			t.Errorf("List(cursor=b) among ties = %v, want %v", listIDs(page), want)
+		}
+	})
+
+	t.Run("CursorWithStatusFilter", func(t *testing.T) {
+		s := mk()
+		for i := 0; i < 6; i++ {
+			op := mkOp(fmt.Sprintf("op-%d", i), t0.Add(time.Duration(i)*time.Second))
+			if i%2 == 0 {
+				op.Status = core.StatusDone
+			}
+			s.Put(op)
+		}
+		// The cursor may name an op outside the filter; the page holds
+		// only matching ops strictly after it.
+		page, err := s.List(ListQuery{Status: core.StatusDone, Cursor: "op-3", Limit: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := []string{"op-2", "op-0"}; fmt.Sprint(listIDs(page)) != fmt.Sprint(want) {
+			t.Errorf("List(status=done, cursor=op-3) = %v, want %v", listIDs(page), want)
+		}
+	})
+
+	t.Run("CursorUnknownYieldsEmptyPage", func(t *testing.T) {
+		s := mk()
+		s.Put(mkOp("a", t0))
+		page, err := s.List(ListQuery{Cursor: "never-existed", Limit: 5})
+		if err != nil {
+			t.Fatalf("List(unknown cursor) = %v, want empty page, not error", err)
+		}
+		if page == nil || len(page) != 0 {
+			t.Errorf("List(unknown cursor) = %v, want non-nil empty page", page)
+		}
+	})
+
+	t.Run("CursorToleratesEviction", func(t *testing.T) {
+		s := mk()
+		cutoff := t0.Add(time.Minute)
+		for i := 0; i < 6; i++ {
+			op := mkOp(fmt.Sprintf("op-%d", i), t0.Add(time.Duration(i)*time.Second))
+			if i == 2 || i == 3 {
+				op.Status = core.StatusDone // evictable
+			}
+			s.Put(op)
+		}
+		if got := s.SweepTerminalBefore(cutoff); got != 2 {
+			t.Fatalf("sweep evicted %d, want 2", got)
+		}
+		// A surviving cursor resumes correctly across the hole left by
+		// eviction.
+		page, err := s.List(ListQuery{Cursor: "op-4", Limit: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := []string{"op-1", "op-0"}; fmt.Sprint(listIDs(page)) != fmt.Sprint(want) {
+			t.Errorf("List(cursor=op-4) after eviction = %v, want %v", listIDs(page), want)
+		}
+		// The evicted op's ID as cursor yields an empty page: the
+		// client fell behind retention and must restart from the top.
+		page, err = s.List(ListQuery{Cursor: "op-2", Limit: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page) != 0 {
+			t.Errorf("List(evicted cursor) = %v, want empty page", listIDs(page))
+		}
+	})
+
+	t.Run("UpdateDoesNotReorder", func(t *testing.T) {
+		s := mk()
+		for i := 0; i < 4; i++ {
+			s.Put(mkOp(fmt.Sprintf("op-%d", i), t0.Add(time.Duration(i)*time.Second)))
+		}
+		before := listIDs(listAll(t, s))
+		if err := s.Update("op-1", func(op *core.Operation) {
+			op.Status = core.StatusDone
+			op.UpdatedAt = t0.Add(time.Hour) // UpdatedAt is not the sort key
+		}); err != nil {
+			t.Fatal(err)
+		}
+		after := listIDs(listAll(t, s))
+		if fmt.Sprint(before) != fmt.Sprint(after) {
+			t.Errorf("Update reordered the listing: %v -> %v", before, after)
 		}
 	})
 
@@ -205,6 +404,62 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 		}
 	})
 
+	t.Run("ListConcurrentWithUpdates", func(t *testing.T) {
+		// Pagination while workers transition: pages must always be
+		// well-formed (no nils, no duplicates, correct order), and old
+		// pages must stay internally consistent.
+		s := mk()
+		const n = 64
+		for i := 0; i < n; i++ {
+			s.Put(mkOp(fmt.Sprintf("op-%02d", i), t0.Add(time.Duration(i)*time.Second)))
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("op-%02d", i%n)
+				_ = s.Update(id, func(op *core.Operation) {
+					op.UpdatedAt = op.UpdatedAt.Add(time.Millisecond)
+				})
+			}
+		}()
+		for round := 0; round < 50; round++ {
+			cursor := ""
+			seen := make(map[string]bool, n)
+			for {
+				page, err := s.List(ListQuery{Cursor: cursor, Limit: 7})
+				if err != nil {
+					t.Fatalf("List: %v", err)
+				}
+				if len(page) == 0 {
+					break
+				}
+				for _, op := range page {
+					if op == nil {
+						t.Fatal("List page contains nil")
+					}
+					if seen[op.ID] {
+						t.Fatalf("List pages repeated %s", op.ID)
+					}
+					seen[op.ID] = true
+				}
+				cursor = page[len(page)-1].ID
+			}
+			if len(seen) != n {
+				t.Fatalf("paged walk saw %d ops, want %d", len(seen), n)
+			}
+		}
+		close(stop)
+		wg.Wait()
+	})
+
 	t.Run("DeleteIdempotent", func(t *testing.T) {
 		s := mk()
 		s.Put(mkOp("a", t0))
@@ -231,7 +486,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 				t.Fatalf("Len after deleting %d ops = %d, want %d", i+1, got, want)
 			}
 		}
-		if got := len(s.List()); got != 0 {
+		if got := len(listAll(t, s)); got != 0 {
 			t.Errorf("List after deleting everything has %d ops, want 0", got)
 		}
 	})
@@ -306,6 +561,9 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 		if got := s.Len(); got != 4 {
 			t.Errorf("Len after sweep = %d, want 4", got)
 		}
+		if got := len(listAll(t, s)); got != 4 {
+			t.Errorf("List after sweep has %d ops, want 4 (index compacted with map)", got)
+		}
 		if got := s.SweepTerminalBefore(cutoff); got != 0 {
 			t.Errorf("second sweep evicted %d, want 0 (idempotent)", got)
 		}
@@ -320,7 +578,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 		if got := s.Len(); got != n {
 			t.Errorf("Len = %d, want %d", got, n)
 		}
-		if got := len(s.List()); got != n {
+		if got := len(listAll(t, s)); got != n {
 			t.Errorf("len(List()) = %d, want %d", got, n)
 		}
 	})
@@ -331,8 +589,8 @@ func TestNewShardedStoreRoundsToPowerOfTwo(t *testing.T) {
 		n    int
 		want int
 	}{
-		{-1, DefaultShardCount},
-		{0, DefaultShardCount},
+		{-1, DefaultShardCount()},
+		{0, DefaultShardCount()},
 		{1, 1},
 		{2, 2},
 		{3, 4},
@@ -349,6 +607,16 @@ func TestNewShardedStoreRoundsToPowerOfTwo(t *testing.T) {
 		if s.mask != uint32(len(s.shards)-1) {
 			t.Errorf("NewShardedStore(%d) mask = %d, want %d", tc.n, s.mask, len(s.shards)-1)
 		}
+	}
+}
+
+func TestDefaultShardCountTracksGOMAXPROCS(t *testing.T) {
+	got := DefaultShardCount()
+	if got != nextPowerOfTwo(got) {
+		t.Errorf("DefaultShardCount() = %d, want a power of two", got)
+	}
+	if got < 1 || got > maxShardCount {
+		t.Errorf("DefaultShardCount() = %d, out of range [1, %d]", got, maxShardCount)
 	}
 }
 

@@ -2,37 +2,36 @@ package engine
 
 import (
 	"hash/maphash"
-	"sync"
+	"runtime"
 	"time"
 
 	"opdaemon/internal/core"
 )
 
 // DefaultShardCount is the shard count NewShardedStore picks when the
-// caller passes n <= 0. Sixteen shards keep per-shard maps warm while
-// giving typical multi-core hosts enough lock granularity that
-// submitters and workers rarely collide.
-const DefaultShardCount = 16
+// caller passes n <= 0: the next power of two at or above
+// runtime.GOMAXPROCS(0). Lock contention scales with the number of
+// goroutines the scheduler can actually run at once, so the default
+// tracks the hardware instead of hardcoding a count — one shard on a
+// single-core container, 16 on a 16-way host. Raise it explicitly
+// (e.g. the daemon's -store-shards flag) to trade memory for extra
+// headroom under skewed load.
+func DefaultShardCount() int {
+	return nextPowerOfTwo(runtime.GOMAXPROCS(0))
+}
 
 // shardedStore is a Store partitioned into power-of-two shards, each a
-// separately locked map. Operations are assigned to shards by a
-// maphash of their ID (per-process random seed), so goroutines
-// touching different operations almost always contend on different
-// locks. It implements the same snapshot and ordering semantics as
-// memStore; the conformance suite in store_conformance_test.go holds
-// both to the same contract.
+// separately locked map plus an ordered index. Operations are assigned
+// to shards by a maphash of their ID (per-process random seed), so
+// goroutines touching different operations almost always contend on
+// different locks. It implements the same copy-on-write and ordering
+// semantics as memStore; the conformance suite in
+// store_conformance_test.go holds both to the same contract.
 type shardedStore struct {
 	shards []*storeShard
 	// mask is len(shards)-1; with a power-of-two shard count,
 	// hash&mask selects a shard without a modulo.
 	mask uint32
-}
-
-// storeShard is one partition of a shardedStore: a mutex-guarded slice
-// of the ID space.
-type storeShard struct {
-	mu  sync.RWMutex
-	ops map[string]*core.Operation
 }
 
 // maxShardCount bounds the shard count. 2^16 shards is far beyond any
@@ -42,26 +41,34 @@ const maxShardCount = 1 << 16
 
 // NewShardedStore returns an empty Store partitioned across n
 // hash-selected shards. n is rounded up to the next power of two so
-// shard selection is a bit mask; n <= 0 selects DefaultShardCount and
-// n > 65536 is clamped there. A single-shard store (n == 1) is
+// shard selection is a bit mask; n <= 0 selects DefaultShardCount()
+// and n > 65536 is clamped there. A single-shard store (n == 1) is
 // semantically identical to NewMemStore and useful as a baseline in
 // benchmarks.
 func NewShardedStore(n int) Store {
-	if n <= 0 {
-		n = DefaultShardCount
-	}
-	if n > maxShardCount {
-		n = maxShardCount
-	}
-	n = nextPowerOfTwo(n)
+	n = normalizeShardCount(n)
 	s := &shardedStore{
 		shards: make([]*storeShard, n),
 		mask:   uint32(n - 1),
 	}
 	for i := range s.shards {
-		s.shards[i] = &storeShard{ops: make(map[string]*core.Operation)}
+		s.shards[i] = newStoreShard()
 	}
 	return s
+}
+
+// normalizeShardCount applies the shared shard-geometry policy — the
+// GOMAXPROCS-scaled default for n <= 0, the maxShardCount clamp, and
+// the power-of-two round-up — in one place so the store and the
+// engine's cancel registry can never drift apart.
+func normalizeShardCount(n int) int {
+	if n <= 0 {
+		n = DefaultShardCount()
+	}
+	if n > maxShardCount {
+		n = maxShardCount
+	}
+	return nextPowerOfTwo(n)
 }
 
 // nextPowerOfTwo returns the smallest power of two >= n, for n >= 1.
@@ -79,13 +86,7 @@ func (s *shardedStore) shard(id string) *storeShard {
 }
 
 func (s *shardedStore) Put(op *core.Operation) {
-	// Clone outside the critical section: the copy is per-operation
-	// work, only the map assignment needs the lock.
-	c := op.Clone()
-	sh := s.shard(c.ID)
-	sh.mu.Lock()
-	sh.ops[c.ID] = c
-	sh.mu.Unlock()
+	s.shard(op.ID).put(op)
 }
 
 func (s *shardedStore) PutBatch(ops []*core.Operation) {
@@ -96,13 +97,12 @@ func (s *shardedStore) PutBatch(ops []*core.Operation) {
 		s.Put(ops[0])
 		return
 	}
-	// Clone and group by shard outside any lock, then take each
-	// shard's lock at most once per batch instead of once per
-	// operation.
+	// Group by shard outside any lock, then take each shard's lock at
+	// most once per batch instead of once per operation.
 	buckets := make([][]*core.Operation, len(s.shards))
 	for _, op := range ops {
 		i := s.shardIndex(op.ID)
-		buckets[i] = append(buckets[i], op.Clone())
+		buckets[i] = append(buckets[i], op)
 	}
 	for i, bucket := range buckets {
 		if len(bucket) == 0 {
@@ -110,8 +110,8 @@ func (s *shardedStore) PutBatch(ops []*core.Operation) {
 		}
 		sh := s.shards[i]
 		sh.mu.Lock()
-		for _, c := range bucket {
-			sh.ops[c.ID] = c
+		for _, op := range bucket {
+			sh.putLocked(op)
 		}
 		sh.mu.Unlock()
 	}
@@ -132,74 +132,89 @@ func (s *shardedStore) shardIndex(id string) int {
 }
 
 func (s *shardedStore) Get(id string) (*core.Operation, error) {
-	// Allocate the snapshot before taking the lock so the critical
-	// section is a fixed-size copy, never a trip through the
-	// allocator (which can stall on GC assist).
-	out := new(core.Operation)
-	sh := s.shard(id)
-	sh.mu.RLock()
-	op, ok := sh.ops[id]
-	if ok {
-		*out = *op
-	}
-	sh.mu.RUnlock()
-	if !ok {
-		return nil, core.ErrNotFound
-	}
-	return out, nil
+	return s.shard(id).get(id)
 }
 
-func (s *shardedStore) List() []*core.Operation {
-	// Snapshot shard by shard; List is not a point-in-time snapshot
-	// across shards (an op stored concurrently may or may not appear),
-	// matching the interface contract which only promises per-op
-	// snapshots.
-	out := make([]*core.Operation, 0, s.Len())
-	for _, sh := range s.shards {
+// List k-way-merges the shard index tails newest-first. Two locking
+// strategies keep writers available:
+//
+//   - Bounded, unfiltered pages (the poll hot path) read-lock every
+//     shard — always in index order, the only path holding more than
+//     one shard lock, and read locks only, so no deadlock cycle with
+//     the one-at-a-time sweep — for a critical section that is
+//     O(shards + limit·log shards) by construction: short no matter
+//     how large the store is, and free of per-element copies.
+//   - Unbounded or status-filtered queries can scan O(n), so instead
+//     of stalling every writer store-wide for the whole merge they
+//     snapshot each shard's candidate range under that shard's lock
+//     alone (a pointer copy — published snapshots are immutable) and
+//     merge lock-free, restoring the one-shard-at-a-time write
+//     availability the pre-index implementation had.
+//
+// Either way List is not a cross-shard point-in-time snapshot (an op
+// stored concurrently may or may not appear), matching the interface
+// contract which only promises per-op snapshot consistency.
+func (s *shardedStore) List(q ListQuery) ([]*core.Operation, error) {
+	// Resolve the cursor up front via its shard's own lock: an
+	// unknown cursor is an empty page, and a known one contributes
+	// only its immutable (CreatedAt, ID) key — still a correct resume
+	// point even if the op is evicted before the merge below runs.
+	var key *core.Operation
+	if q.Cursor != "" {
+		op, err := s.shard(q.Cursor).get(q.Cursor)
+		if err != nil {
+			return []*core.Operation{}, nil
+		}
+		key = op
+	}
+
+	if q.Limit > 0 && q.Status == "" {
+		for _, sh := range s.shards {
+			sh.mu.RLock()
+		}
+		defer func() {
+			for _, sh := range s.shards {
+				sh.mu.RUnlock()
+			}
+		}()
+		cursors := make([]listCursor, len(s.shards))
+		for i, sh := range s.shards {
+			cursors[i] = listCursor{ops: sh.ix.ops, pos: startPosFor(sh, key)}
+		}
+		return collectNewest(cursors, q), nil
+	}
+
+	cursors := make([]listCursor, len(s.shards))
+	for i, sh := range s.shards {
 		sh.mu.RLock()
-		for _, op := range sh.ops {
-			out = append(out, op.Clone())
+		pos := startPosFor(sh, key)
+		var snap []*core.Operation
+		if pos >= 0 {
+			snap = make([]*core.Operation, pos+1)
+			copy(snap, sh.ix.ops[:pos+1])
 		}
 		sh.mu.RUnlock()
+		cursors[i] = listCursor{ops: snap, pos: pos}
 	}
-	sortNewestFirst(out)
-	return out
+	return collectNewest(cursors, q), nil
 }
 
 func (s *shardedStore) Update(id string, fn func(op *core.Operation)) error {
-	sh := s.shard(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	op, ok := sh.ops[id]
-	if !ok {
-		return core.ErrNotFound
-	}
-	fn(op)
-	return nil
+	return s.shard(id).update(id, fn)
 }
 
 func (s *shardedStore) Delete(id string) {
-	sh := s.shard(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	delete(sh.ops, id)
+	s.shard(id).delete(id)
 }
 
 func (s *shardedStore) SweepTerminalBefore(cutoff time.Time) int {
 	// One shard lock at a time: the sweep never holds more than one
 	// lock, so concurrent per-operation traffic on other shards is
-	// unaffected and there is no cross-shard deadlock risk. No clones
-	// and no ordering work — this is the janitor's hot path.
+	// unaffected. (List holds all shard locks, but only read locks,
+	// acquired in index order — no cycle with this sequential walk.)
 	evicted := 0
 	for _, sh := range s.shards {
-		sh.mu.Lock()
-		for id, op := range sh.ops {
-			if op.Status.Terminal() && op.UpdatedAt.Before(cutoff) {
-				delete(sh.ops, id)
-				evicted++
-			}
-		}
-		sh.mu.Unlock()
+		evicted += sh.sweepTerminalBefore(cutoff)
 	}
 	return evicted
 }
@@ -207,9 +222,7 @@ func (s *shardedStore) SweepTerminalBefore(cutoff time.Time) int {
 func (s *shardedStore) Len() int {
 	n := 0
 	for _, sh := range s.shards {
-		sh.mu.RLock()
-		n += len(sh.ops)
-		sh.mu.RUnlock()
+		n += sh.len()
 	}
 	return n
 }
