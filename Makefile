@@ -11,15 +11,26 @@ BENCHCPU ?= 8
 # CI and developers lint with identical rules. Bump deliberately.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build test vet fmt-check fmt bench bench-e2e staticcheck
+# Pinned govulncheck release, same reproducibility rationale.
+GOVULNCHECK_VERSION ?= v1.1.4
 
-all: build vet fmt-check test
+.PHONY: all build test lint vet fmt-check fmt bench bench-e2e staticcheck opdaemonlint vuln
+
+all: build lint fmt-check test
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order every run so inter-test state
+# dependencies surface in CI instead of on a refactor years later; the
+# failure log prints the seed for reproduction.
 test:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# lint is the single aggregate gate: vet for the compiler-adjacent
+# checks, staticcheck for general Go correctness, opdaemonlint for the
+# project's own concurrency and immutability contracts.
+lint: vet staticcheck opdaemonlint
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +39,18 @@ vet:
 # afterwards); offline sandboxes should rely on the CI step instead.
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+# The project's custom analyzers (opmutate, lockscope, ctxdiscipline,
+# statustransition). Built from this repo, so it runs offline; see
+# docs/static-analysis.md for what each analyzer enforces and how to
+# suppress an intentional violation.
+opdaemonlint:
+	$(GO) run ./cmd/opdaemonlint ./...
+
+# Known-vulnerability scan over the module graph and reachable calls.
+# Needs network access for the vuln DB and the pinned tool download.
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -cpu=$(BENCHCPU) -run '^$$' ./internal/engine/

@@ -1,0 +1,116 @@
+// Command opdaemonlint runs the project's custom static-analysis suite
+// over Go packages. It machine-enforces the engine's concurrency and
+// immutability contracts:
+//
+//	opmutate         no field writes to published *core.Operation snapshots
+//	lockscope        no blocking or re-entrant calls inside shard critical sections
+//	ctxdiscipline    no detached context roots; ctx-first blocking exports
+//	statustransition Status changes flow through core's guarded Transition
+//
+// Usage:
+//
+//	opdaemonlint [-tests=false] [-only=name,name] [packages]
+//
+// Packages default to ./... relative to the working directory. Exits 1
+// when any diagnostic is reported, 2 on usage or load errors.
+// Intentional violations are suppressed in-source with
+// `//lint:allow opdaemon/<name> <justification>` on or immediately
+// above the offending line; a bare directive with no justification is
+// itself a diagnostic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"opdaemon/internal/analysis/ctxdiscipline"
+	"opdaemon/internal/analysis/lintkit"
+	"opdaemon/internal/analysis/lockscope"
+	"opdaemon/internal/analysis/opmutate"
+	"opdaemon/internal/analysis/statustransition"
+)
+
+// suite is every analyzer the project ships, in report order.
+var suite = []*lintkit.Analyzer{
+	opmutate.Analyzer,
+	lockscope.Analyzer,
+	ctxdiscipline.Analyzer,
+	statustransition.Analyzer,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	tests := flag.Bool("tests", true, "also analyze test files and test packages")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opdaemonlint:", err)
+		return 2
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lintkit.Load(lintkit.LoadConfig{Tests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opdaemonlint:", err)
+		return 2
+	}
+
+	diags, err := lintkit.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opdaemonlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -only flag against the suite.
+func selectAnalyzers(only string) ([]*lintkit.Analyzer, error) {
+	if only == "" {
+		return suite, nil
+	}
+	byName := make(map[string]*lintkit.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var picked []*lintkit.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list to see the suite)", name)
+		}
+		picked = append(picked, a)
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("-only selected no analyzers")
+	}
+	return picked, nil
+}

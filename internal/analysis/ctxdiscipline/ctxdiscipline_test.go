@@ -1,0 +1,12 @@
+package ctxdiscipline_test
+
+import (
+	"testing"
+
+	"opdaemon/internal/analysis/ctxdiscipline"
+	"opdaemon/internal/analysis/lintkit/analysistest"
+)
+
+func TestCtxDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxdiscipline.Analyzer, "a", "cmd/tool")
+}

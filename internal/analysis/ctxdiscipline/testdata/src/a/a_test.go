@@ -1,0 +1,20 @@
+package a
+
+import (
+	"context"
+	"testing"
+)
+
+// Tests are exempt from both rules: they fabricate roots and block on
+// the code under test.
+func TestRootsAllowed(t *testing.T) {
+	ctx := context.Background()
+	_ = ctx
+	_ = context.TODO()
+}
+
+// BlockForever would violate the blocking rule anywhere but a test
+// file.
+func BlockForever(ch chan int) int {
+	return <-ch
+}

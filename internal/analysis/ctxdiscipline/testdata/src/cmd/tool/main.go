@@ -1,0 +1,15 @@
+// Command tool shows that binaries own their context roots.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}
+
+// Run blocks without a context, which is fine in a binary: main owns
+// the process lifetime.
+func Run(ch chan int) int {
+	return <-ch
+}

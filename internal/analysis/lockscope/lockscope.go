@@ -1,0 +1,362 @@
+// Package lockscope polices the store's shard critical sections. A
+// storeShard (or cancelShard) mutex guards a few map and slice
+// operations and nothing else; anything that can block or re-enter the
+// store while the shard lock is held turns a nanosecond critical
+// section into a stall or a self-deadlock. Between a `<shard>.mu.Lock`
+// (or RLock) and its release the analyzer forbids:
+//
+//   - blocking channel operations (sends, receives, selects with no
+//     default, ranging over a channel);
+//   - calls through function values — handler or callback invocation
+//     runs arbitrary user code under the lock;
+//   - calls to methods of the Store interface — a pluggable backend
+//     may block, and the in-memory ones re-acquire shard locks;
+//   - calls to same-package functions that themselves acquire a shard
+//     lock (re-entrant acquisition, an instant deadlock on the same
+//     shard with sync.Mutex);
+//   - acquiring a second shard lock while one is held, unless the
+//     acquisition ranges over the shard slice — the canonical
+//     all-shards pattern whose index order makes the ordering safe —
+//     and acquiring the same lock twice.
+//
+// The analysis is function-local and approximates control flow by
+// source order: a lock is considered held from the acquisition site to
+// its textual release (or function end for deferred releases).
+// Goroutine bodies launched under the lock are skipped (they run
+// elsewhere); function literals that may execute inline are scanned.
+package lockscope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"opdaemon/internal/analysis/lintkit"
+)
+
+// Analyzer is the lockscope checker.
+var Analyzer = &lintkit.Analyzer{
+	Name: "lockscope",
+	Doc:  "no blocking or re-entrant calls inside storeShard critical sections",
+	Run:  run,
+}
+
+// policedTypes names the struct types whose mu field delimits a
+// policed critical section.
+var policedTypes = map[string]bool{
+	"storeShard":  true,
+	"cancelShard": true,
+}
+
+// storeInterface names the interface whose methods must not be called
+// under a shard lock.
+const storeInterface = "Store"
+
+func run(pass *lintkit.Pass) error {
+	acq := newAcquirerIndex(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				s := &scanner{pass: pass, acq: acq, held: make(map[string]*heldLock), rangeVars: make(map[types.Object]bool)}
+				s.scan(fn.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// lockOp classifies a call as a policed mutex operation.
+type lockOp struct {
+	// path is the lock's textual identity, e.g. "sh.mu".
+	path string
+	// acquire is true for Lock/RLock, false for Unlock/RUnlock.
+	acquire bool
+	// base is the root identifier of the path, used to recognise
+	// range-variable (all-shards) acquisitions.
+	base *ast.Ident
+}
+
+// classifyLockOp returns the lock operation described by call, or nil.
+func classifyLockOp(pass *lintkit.Pass, call *ast.CallExpr) *lockOp {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return nil
+	}
+	// The receiver must be a mu field of a policed struct type.
+	muSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || muSel.Sel.Name != "mu" {
+		return nil
+	}
+	owner := pass.TypesInfo.TypeOf(muSel.X)
+	if owner == nil || !policedTypes[lintkit.TypeName(owner)] {
+		return nil
+	}
+	return &lockOp{
+		path:    types.ExprString(sel.X),
+		acquire: acquire,
+		base:    rootIdent(muSel.X),
+	}
+}
+
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// heldLock is one acquired lock in the scanner's state.
+type heldLock struct {
+	// group marks an all-shards acquisition through a range variable.
+	group bool
+}
+
+// scanner walks one function body in source order, tracking held
+// policed locks and reporting violations inside critical sections.
+type scanner struct {
+	pass      *lintkit.Pass
+	acq       *acquirerIndex
+	held      map[string]*heldLock
+	rangeVars map[types.Object]bool
+}
+
+func (s *scanner) scan(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Runs on another goroutine; not under this section.
+			return false
+		case *ast.DeferStmt:
+			// Deferred releases keep the lock held to function end (so
+			// nothing to do); other deferred work runs during unwind,
+			// after the body this scan models.
+			return false
+		case *ast.RangeStmt:
+			if t := s.pass.TypesInfo.TypeOf(n.X); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Array:
+					if id, ok := n.Value.(*ast.Ident); ok {
+						if obj := s.pass.TypesInfo.Defs[id]; obj != nil {
+							s.rangeVars[obj] = true
+						}
+					}
+				case *types.Chan:
+					s.reportHeld(n.Pos(), "range over a channel")
+				}
+			}
+			return true
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				// One report for the select itself; the comm clauses
+				// are part of that single blocking point.
+				s.reportHeld(n.Pos(), "select with no default")
+			}
+			// Either way the comm operations themselves are not
+			// separate blocking sites; scan only the clause bodies.
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					for _, stmt := range cc.Body {
+						s.scan(stmt)
+					}
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			s.reportHeld(n.Pos(), "channel send")
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.reportHeld(n.Pos(), "channel receive")
+			}
+			return true
+		case *ast.CallExpr:
+			if op := classifyLockOp(s.pass, n); op != nil {
+				s.applyLockOp(n, op)
+				return false
+			}
+			s.checkCall(n)
+			return true
+		}
+		return true
+	})
+}
+
+// applyLockOp updates the held set for a Lock/Unlock call, flagging
+// double and unordered acquisitions.
+func (s *scanner) applyLockOp(call *ast.CallExpr, op *lockOp) {
+	if !op.acquire {
+		delete(s.held, op.path)
+		return
+	}
+	group := op.base != nil && s.rangeVars[s.pass.TypesInfo.Uses[op.base]]
+	if prev, ok := s.held[op.path]; ok {
+		if !prev.group && !group {
+			s.pass.Reportf(call.Pos(), "acquiring %s while it is already held: self-deadlock", op.path)
+		}
+		return
+	}
+	if len(s.held) > 0 && !group {
+		for other := range s.held {
+			s.pass.Reportf(call.Pos(),
+				"acquiring %s while %s is held: multi-shard acquisition must range over the shard slice in canonical index order", op.path, other)
+			break
+		}
+	}
+	s.held[op.path] = &heldLock{group: group}
+}
+
+// checkCall flags calls that may block or re-enter the store while a
+// shard lock is held.
+func (s *scanner) checkCall(call *ast.CallExpr) {
+	if len(s.held) == 0 {
+		return
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj := s.pass.TypesInfo.Uses[fun]
+		if v, ok := obj.(*types.Var); ok && isFuncValue(v) {
+			s.pass.Reportf(call.Pos(),
+				"call through function value %s inside a shard critical section: callbacks run arbitrary code under the lock", fun.Name)
+			return
+		}
+		if fn, ok := obj.(*types.Func); ok && s.acq.acquires(fn) {
+			s.pass.Reportf(call.Pos(),
+				"call to %s inside a shard critical section re-acquires a shard lock", fun.Name)
+		}
+	case *ast.SelectorExpr:
+		if selection, ok := s.pass.TypesInfo.Selections[fun]; ok {
+			recv := selection.Recv()
+			if types.IsInterface(recv.Underlying()) && lintkit.TypeName(recv) == storeInterface {
+				s.pass.Reportf(call.Pos(),
+					"call to Store.%s inside a shard critical section: a pluggable backend may block or re-enter the shard", fun.Sel.Name)
+				return
+			}
+			if v, ok := selection.Obj().(*types.Var); ok && isFuncValue(v) {
+				s.pass.Reportf(call.Pos(),
+					"call through function value %s inside a shard critical section: callbacks run arbitrary code under the lock", fun.Sel.Name)
+				return
+			}
+		}
+		if fn, ok := s.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && s.acq.acquires(fn) {
+			s.pass.Reportf(call.Pos(),
+				"call to %s inside a shard critical section re-acquires a shard lock", fun.Sel.Name)
+		}
+	}
+}
+
+// reportHeld reports a blocking operation if any policed lock is held.
+func (s *scanner) reportHeld(pos token.Pos, what string) {
+	for path := range s.held {
+		s.pass.Reportf(pos, "%s inside the %s critical section can stall every operation on the shard", what, path)
+		return
+	}
+}
+
+// isFuncValue reports whether v is a variable (parameter, local,
+// field) of function type — a callback, as opposed to a declared
+// function.
+func isFuncValue(v *types.Var) bool {
+	_, ok := v.Type().Underlying().(*types.Signature)
+	return ok
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// acquirerIndex answers "does calling this package-level function
+// acquire a policed lock?", transitively through same-package calls.
+type acquirerIndex struct {
+	pass  *lintkit.Pass
+	decls map[*types.Func]*ast.FuncDecl
+	memo  map[*types.Func]bool
+}
+
+func newAcquirerIndex(pass *lintkit.Pass) *acquirerIndex {
+	idx := &acquirerIndex{
+		pass:  pass,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		memo:  make(map[*types.Func]bool),
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+					idx.decls[obj] = fn
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// acquires reports whether fn (directly or through same-package
+// callees) acquires a policed shard lock. Unknown functions — other
+// packages, interface methods — report false; the Store-interface rule
+// covers the pluggable path separately.
+func (idx *acquirerIndex) acquires(fn *types.Func) bool {
+	if got, ok := idx.memo[fn]; ok {
+		return got
+	}
+	decl, ok := idx.decls[fn]
+	if !ok {
+		return false
+	}
+	// Break recursion cycles pessimistically: a cycle that locks is
+	// caught at the member that locks directly.
+	idx.memo[fn] = false
+	result := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if result {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op := classifyLockOp(idx.pass, call); op != nil && op.acquire {
+			result = true
+			return false
+		}
+		var callee types.Object
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			callee = idx.pass.TypesInfo.Uses[fun]
+		case *ast.SelectorExpr:
+			callee = idx.pass.TypesInfo.Uses[fun.Sel]
+		}
+		if cf, ok := callee.(*types.Func); ok && cf != fn && idx.acquires(cf) {
+			result = true
+			return false
+		}
+		return true
+	})
+	idx.memo[fn] = result
+	return result
+}

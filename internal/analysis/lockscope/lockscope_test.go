@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"opdaemon/internal/analysis/lintkit/analysistest"
+	"opdaemon/internal/analysis/lockscope"
+)
+
+func TestLockScope(t *testing.T) {
+	analysistest.Run(t, "testdata", lockscope.Analyzer, "a")
+}

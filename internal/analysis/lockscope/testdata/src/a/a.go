@@ -1,0 +1,160 @@
+// Package a exercises the lockscope diagnostics against a miniature
+// replica of the engine's shard shapes.
+package a
+
+import "sync"
+
+// storeShard mirrors the engine's shard: its name is what makes the
+// mu critical sections policed.
+type storeShard struct {
+	mu  sync.RWMutex
+	ops map[string]int
+}
+
+// Store mirrors the engine's pluggable storage interface.
+type Store interface {
+	Get(id string) (int, bool)
+	Put(id string, v int)
+}
+
+// sendUnderLock blocks the shard on a channel send.
+func sendUnderLock(sh *storeShard, ch chan int) {
+	sh.mu.Lock()
+	ch <- 1 // want `channel send inside the sh\.mu critical section`
+	sh.mu.Unlock()
+}
+
+// receiveUnderDeferredLock holds the lock to function end via defer.
+func receiveUnderDeferredLock(sh *storeShard, ch chan int) int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return <-ch // want `channel receive inside the sh\.mu critical section`
+}
+
+// selectUnderLock blocks in a select with no default.
+func selectUnderLock(sh *storeShard, a, b chan int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	select { // want `select with no default inside the sh\.mu critical section`
+	case <-a:
+	case <-b:
+	}
+}
+
+// callbackUnderLock runs arbitrary code inside the critical section.
+func callbackUnderLock(sh *storeShard, fn func()) {
+	sh.mu.Lock()
+	fn() // want `call through function value fn inside a shard critical section`
+	sh.mu.Unlock()
+}
+
+// storeCallUnderLock re-enters the pluggable store under the lock.
+func storeCallUnderLock(sh *storeShard, s Store) {
+	sh.mu.Lock()
+	s.Put("x", 1) // want `call to Store\.Put inside a shard critical section`
+	sh.mu.Unlock()
+}
+
+// lockedGet is a same-package acquirer.
+func lockedGet(sh *storeShard, id string) int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.ops[id]
+}
+
+// viaHelper acquires transitively, through lockedGet.
+func viaHelper(sh *storeShard, id string) int {
+	return lockedGet(sh, id)
+}
+
+// reentrantCall would deadlock on the same shard mutex.
+func reentrantCall(sh *storeShard, id string) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return viaHelper(sh, id) // want `call to viaHelper inside a shard critical section re-acquires a shard lock`
+}
+
+// doubleLock acquires the same mutex twice.
+func doubleLock(sh *storeShard) {
+	sh.mu.Lock()
+	sh.mu.Lock() // want `acquiring sh\.mu while it is already held: self-deadlock`
+	sh.mu.Unlock()
+	sh.mu.Unlock()
+}
+
+// unorderedPair takes two specific shards ad hoc instead of ranging
+// over the shard slice in canonical order.
+func unorderedPair(a, b *storeShard) {
+	a.mu.Lock()
+	b.mu.Lock() // want `acquiring b\.mu while a\.mu is held: multi-shard acquisition must range over the shard slice`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// canonicalSweep is the sanctioned all-shards pattern: acquisition
+// ranges over the slice, so ordering is fixed by index.
+func canonicalSweep(shards []*storeShard) int {
+	n := 0
+	for _, sh := range shards {
+		sh.mu.RLock()
+	}
+	defer func() {
+		for _, sh := range shards {
+			sh.mu.RUnlock()
+		}
+	}()
+	for _, sh := range shards {
+		n += len(sh.ops)
+	}
+	return n
+}
+
+// trySendUnderLock cannot block: the select has a default.
+func trySendUnderLock(sh *storeShard, ch chan int) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// sendAfterUnlock is clean: the critical section ended.
+func sendAfterUnlock(sh *storeShard, ch chan int) {
+	sh.mu.Lock()
+	sh.ops["x"] = 1
+	sh.mu.Unlock()
+	ch <- 1
+}
+
+// goUnderLock launches work under the lock but the goroutine body runs
+// elsewhere; the send is not part of this critical section.
+func goUnderLock(sh *storeShard, ch chan int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	go func() {
+		ch <- 1
+	}()
+}
+
+// suppressedCallback documents the one sanctioned callback site.
+func suppressedCallback(sh *storeShard, fn func()) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	//lint:allow opdaemon/lockscope fixture mirror of Update's clone-mutation contract
+	fn()
+}
+
+// unpolicedMutex guards a type outside the policed set; lockscope does
+// not constrain it.
+type unpoliced struct {
+	mu sync.Mutex
+}
+
+func otherLock(u *unpoliced, ch chan int) {
+	u.mu.Lock()
+	ch <- 1
+	u.mu.Unlock()
+}

@@ -1,0 +1,12 @@
+package opmutate_test
+
+import (
+	"testing"
+
+	"opdaemon/internal/analysis/lintkit/analysistest"
+	"opdaemon/internal/analysis/opmutate"
+)
+
+func TestOpMutate(t *testing.T) {
+	analysistest.Run(t, "testdata", opmutate.Analyzer, "opdaemon/a")
+}

@@ -1,0 +1,29 @@
+package a
+
+import (
+	"testing"
+	"time"
+
+	"opdaemon/internal/core"
+)
+
+// TestFactoryMutation shows the conformance-suite idiom: helpers
+// return owned operations that the test shapes freely before Put.
+func TestFactoryMutation(t *testing.T) {
+	now := time.Unix(0, 0)
+	op := mkOp("t-1", now)
+	op.Status = core.StatusRunning
+	op.Error = "shaped by the test"
+	if op.ID != "t-1" {
+		t.Fatal("unexpected id")
+	}
+}
+
+// TestFetchedMutation shows that tests are policed too: writing a
+// snapshot out of Get races with the store.
+func TestFetchedMutation(t *testing.T) {
+	s := &Store{m: map[string]*core.Operation{"t-2": {ID: "t-2"}}}
+	got, _ := s.Get("t-2")
+	got.Status = core.StatusDone // want `write to field Status of a published \*core\.Operation`
+	_ = got
+}

@@ -1,0 +1,63 @@
+// Package core is a fixture mirror of the real domain package: just
+// enough of Operation and its lifecycle for the analyzers to resolve
+// the types they police. Direct Status writes in here must never be
+// flagged — core owns the invariant.
+package core
+
+import "time"
+
+// Status is the lifecycle state of an Operation.
+type Status string
+
+// The lifecycle states.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// CanTransition reports whether a move from s to next is legal.
+func (s Status) CanTransition(next Status) bool {
+	switch s {
+	case StatusQueued:
+		return next == StatusRunning || next == StatusFailed || next == StatusCancelled
+	case StatusRunning:
+		return next == StatusDone || next == StatusFailed || next == StatusCancelled
+	}
+	return false
+}
+
+// Operation is the fixture unit of work.
+type Operation struct {
+	ID          string
+	Kind        string
+	Status      Status
+	Error       string
+	Attempts    int
+	CreatedAt   time.Time
+	UpdatedAt   time.Time
+	CancelledAt time.Time
+}
+
+// Clone returns a shallow copy.
+func (op *Operation) Clone() *Operation {
+	c := *op
+	return &c
+}
+
+// Transition advances op to next if legal, stamping timestamps, and
+// reports whether the step applied. The direct writes below are the
+// sanctioned single site.
+func (op *Operation) Transition(next Status, now time.Time) bool {
+	if !op.Status.CanTransition(next) {
+		return false
+	}
+	op.Status = next
+	op.UpdatedAt = now
+	if next == StatusCancelled && op.CancelledAt.IsZero() {
+		op.CancelledAt = now
+	}
+	return true
+}

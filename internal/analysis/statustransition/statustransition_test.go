@@ -1,0 +1,14 @@
+package statustransition_test
+
+import (
+	"testing"
+
+	"opdaemon/internal/analysis/lintkit/analysistest"
+	"opdaemon/internal/analysis/statustransition"
+)
+
+func TestStatusTransition(t *testing.T) {
+	// The core fixture is loaded as a target too: its own Transition
+	// method writes Status directly and must stay silent.
+	analysistest.Run(t, "testdata", statustransition.Analyzer, "opdaemon/a", "opdaemon/internal/core")
+}

@@ -1,0 +1,52 @@
+// Package a exercises the statustransition diagnostics and the clean
+// shapes around them.
+package a
+
+import (
+	"time"
+
+	"opdaemon/internal/core"
+)
+
+func directWrite(op *core.Operation) {
+	op.Status = core.StatusDone // want `direct write to Operation\.Status outside core`
+}
+
+func writeThroughDeref(p *core.Operation) {
+	(*p).Status = core.StatusFailed // want `direct write to Operation\.Status outside core`
+}
+
+func writeOnValue(op core.Operation) {
+	op.Status = core.StatusRunning // want `direct write to Operation\.Status outside core`
+}
+
+func aliasedWrite(op *core.Operation) *core.Status {
+	return &op.Status // want `taking the address of Operation\.Status outside core`
+}
+
+// guarded uses the sanctioned path.
+func guarded(op *core.Operation, now time.Time) bool {
+	return op.Transition(core.StatusRunning, now)
+}
+
+// construction reads and builds freely: composite literals set the
+// initial state, they do not transition an existing operation.
+func construction() *core.Operation {
+	op := &core.Operation{Status: core.StatusQueued}
+	if op.Status.CanTransition(core.StatusRunning) {
+		return op
+	}
+	return nil
+}
+
+// suppressed documents an intentional exemption.
+func suppressed(op *core.Operation) {
+	//lint:allow opdaemon/statustransition fixture proves suppression works
+	op.Status = core.StatusDone
+}
+
+// otherField writes are this analyzer's concern only for Status;
+// opmutate owns general immutability.
+func otherField(op *core.Operation) {
+	op.Error = "boom"
+}

@@ -83,7 +83,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if isJSONArray(body) {
-		s.submitBatch(w, body)
+		s.submitBatch(w, r, body)
 		return
 	}
 	var req submitRequest
@@ -92,7 +92,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	op, err := s.engine.Submit(req.Kind, req.Params)
+	op, err := s.engine.Submit(r.Context(), req.Kind, req.Params)
 	if err != nil {
 		writeEngineError(w, err)
 		return
@@ -104,7 +104,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 // every element is validated, the batch is enqueued atomically, and
 // the reply carries one async envelope per item (or one error envelope
 // naming every invalid item).
-func (s *Server) submitBatch(w http.ResponseWriter, body []byte) {
+func (s *Server) submitBatch(w http.ResponseWriter, r *http.Request, body []byte) {
 	var reqs []submitRequest
 	if err := json.Unmarshal(body, &reqs); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed JSON body: %v", err))
@@ -116,7 +116,7 @@ func (s *Server) submitBatch(w http.ResponseWriter, body []byte) {
 	for i, req := range reqs {
 		items[i] = engine.BatchItem{Kind: req.Kind, Params: req.Params}
 	}
-	ops, err := s.engine.SubmitBatch(items)
+	ops, err := s.engine.SubmitBatch(r.Context(), items)
 	if err != nil {
 		writeEngineError(w, err)
 		return

@@ -106,6 +106,29 @@ func (op *Operation) Clone() *Operation {
 	return &c
 }
 
+// Transition advances the operation to next if the lifecycle permits
+// it, stamping UpdatedAt (and backfilling CancelledAt on a cancel whose
+// request time was never recorded) with now. It reports whether the
+// step applied; an illegal step leaves the operation untouched, so
+// terminal states are never overwritten.
+//
+// This is the single sanctioned write-site for Status: callers outside
+// this package must route every status change through it (the
+// opdaemonlint statustransition analyzer enforces this), and must call
+// it only on a privately owned copy — a clone inside a store Update
+// callback, or an operation not yet published.
+func (op *Operation) Transition(next Status, now time.Time) bool {
+	if !op.Status.CanTransition(next) {
+		return false
+	}
+	op.Status = next
+	op.UpdatedAt = now
+	if next == StatusCancelled && op.CancelledAt.IsZero() {
+		op.CancelledAt = now
+	}
+	return true
+}
+
 // Sentinel errors surfaced across subsystem boundaries. The API layer
 // maps these onto HTTP status codes with errors.Is.
 var (

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"testing"
+	"time"
 )
 
 func TestStatusTerminal(t *testing.T) {
@@ -49,6 +50,55 @@ func TestStatusCanTransition(t *testing.T) {
 			if got := from.CanTransition(to); got != want {
 				t.Errorf("%s.CanTransition(%s) = %v, want %v", from, to, got, want)
 			}
+		}
+	}
+}
+
+func TestOperationTransition(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	t1 := time.Unix(200, 0)
+
+	op := &Operation{ID: "x", Status: StatusQueued, UpdatedAt: t0}
+	if !op.Transition(StatusRunning, t1) {
+		t.Fatal("queued→running refused")
+	}
+	if op.Status != StatusRunning || !op.UpdatedAt.Equal(t1) {
+		t.Fatalf("after transition: status=%s updated=%v", op.Status, op.UpdatedAt)
+	}
+	if !op.CancelledAt.IsZero() {
+		t.Error("non-cancel transition stamped CancelledAt")
+	}
+
+	// An illegal step must leave the operation untouched.
+	t2 := time.Unix(300, 0)
+	if op.Transition(StatusQueued, t2) {
+		t.Fatal("running→queued applied")
+	}
+	if op.Status != StatusRunning || !op.UpdatedAt.Equal(t1) {
+		t.Fatalf("refused transition mutated op: status=%s updated=%v", op.Status, op.UpdatedAt)
+	}
+
+	// A cancel backfills CancelledAt only when it was never recorded.
+	if !op.Transition(StatusCancelled, t2) {
+		t.Fatal("running→cancelled refused")
+	}
+	if !op.CancelledAt.Equal(t2) {
+		t.Errorf("CancelledAt = %v, want backfilled %v", op.CancelledAt, t2)
+	}
+
+	pre := &Operation{Status: StatusRunning, CancelledAt: t0}
+	if !pre.Transition(StatusCancelled, t2) {
+		t.Fatal("running→cancelled refused")
+	}
+	if !pre.CancelledAt.Equal(t0) {
+		t.Errorf("CancelledAt = %v, want preserved request-time stamp %v", pre.CancelledAt, t0)
+	}
+
+	// Terminal states never move again.
+	for _, next := range []Status{StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled} {
+		done := &Operation{Status: StatusDone, UpdatedAt: t0}
+		if done.Transition(next, t1) {
+			t.Errorf("done→%s applied", next)
 		}
 	}
 }

@@ -123,6 +123,10 @@ func New(cfg Config) *Engine {
 			cfg.GCInterval = time.Second
 		}
 	}
+	// The engine's run context is the process-lifetime root that every
+	// handler context derives from; it is cancelled by Shutdown, not by
+	// any caller, so a detached root is the correct shape here.
+	//lint:allow opdaemon/ctxdiscipline engine run-root is owned by Shutdown, not a caller
 	ctx, stop := context.WithCancel(context.Background())
 	e := &Engine{
 		store:           cfg.Store,
@@ -218,9 +222,13 @@ type BatchItem struct {
 
 // Submit validates and enqueues an operation of the given kind,
 // returning its queued snapshot. It fails fast with
-// core.ErrUnknownKind, core.ErrShuttingDown, or core.ErrQueueFull.
-func (e *Engine) Submit(kind string, params map[string]any) (*core.Operation, error) {
-	ops, err := e.SubmitBatch([]BatchItem{{Kind: kind, Params: params}})
+// core.ErrUnknownKind, core.ErrShuttingDown, or core.ErrQueueFull. The
+// context covers admission only — a caller that has already given up
+// (request aborted, client gone) is rejected with its ctx error instead
+// of enqueuing work nobody will read; it does not bound the operation's
+// execution, which is governed by the kind's deadline.
+func (e *Engine) Submit(ctx context.Context, kind string, params map[string]any) (*core.Operation, error) {
+	ops, err := e.SubmitBatch(ctx, []BatchItem{{Kind: kind, Params: params}})
 	if err != nil {
 		// A single-item batch rejection carries exactly one item
 		// error; surface it directly so callers keep seeing the
@@ -242,8 +250,13 @@ func (e *Engine) Submit(kind string, params map[string]any) (*core.Operation, er
 // failures (core.ErrQueueFull, core.ErrShuttingDown) apply to the
 // batch as a whole. Store writes are amortised into a single PutBatch
 // call, so large batches take each store lock O(shards) times instead
-// of O(items).
-func (e *Engine) SubmitBatch(items []BatchItem) ([]*core.Operation, error) {
+// of O(items). The context covers admission only (see Submit): once the
+// batch is validated and its queue slots are reserved it commits, so a
+// context cancelled mid-flight never yields a half-enqueued batch.
+func (e *Engine) SubmitBatch(ctx context.Context, items []BatchItem) ([]*core.Operation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(items) == 0 {
 		return nil, &core.InvalidError{Field: "batch", Reason: "must contain at least one item"}
 	}
@@ -389,10 +402,9 @@ func (e *Engine) Cancel(id string) (*core.Operation, error) {
 	err := e.store.Update(id, func(op *core.Operation) {
 		switch op.Status {
 		case core.StatusQueued:
-			now := e.clock()
-			op.Status = core.StatusCancelled
-			op.UpdatedAt = now
-			op.CancelledAt = now
+			// queued → cancelled is always a legal step, so this cannot
+			// refuse; Transition stamps UpdatedAt and CancelledAt.
+			op.Transition(core.StatusCancelled, e.clock())
 			op.Error = core.ErrCancelled.Error()
 			cancelled = true
 		case core.StatusRunning:
@@ -588,18 +600,14 @@ func (e *Engine) fail(id string, cause error) {
 func (e *Engine) transition(id string, next core.Status, result json.RawMessage, cause error) bool {
 	applied := false
 	err := e.store.Update(id, func(op *core.Operation) {
-		if !op.Status.CanTransition(next) {
+		// Transition refuses illegal steps and stamps UpdatedAt; it
+		// keeps the request-time CancelledAt stamp Cancel already
+		// recorded, backfilling only if a cancel bypassed Cancel
+		// (shouldn't happen).
+		if !op.Transition(next, e.clock()) {
 			return
 		}
 		applied = true
-		now := e.clock()
-		op.Status = next
-		op.UpdatedAt = now
-		// Keep the request-time stamp Cancel already recorded; only a
-		// cancel that bypassed Cancel (shouldn't happen) backfills.
-		if next == core.StatusCancelled && op.CancelledAt.IsZero() {
-			op.CancelledAt = now
-		}
 		if result != nil {
 			op.Result = result
 		}

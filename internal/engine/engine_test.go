@@ -62,7 +62,7 @@ func TestSubmitRunsToDone(t *testing.T) {
 		return op.Params["msg"], nil
 	})
 
-	op, err := e.Submit("echo", map[string]any{"msg": "hello"})
+	op, err := e.Submit(context.Background(), "echo", map[string]any{"msg": "hello"})
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -91,7 +91,7 @@ func TestFailedOperationPropagatesError(t *testing.T) {
 		return nil, boom
 	})
 
-	op, err := e.Submit("explode", nil)
+	op, err := e.Submit(context.Background(), "explode", nil)
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -118,7 +118,7 @@ func TestPanickingHandlerFailsOperation(t *testing.T) {
 		return "fine", nil
 	})
 
-	bad, err := e.Submit("panic", nil)
+	bad, err := e.Submit(context.Background(), "panic", nil)
 	if err != nil {
 		t.Fatalf("Submit(panic): %v", err)
 	}
@@ -131,7 +131,7 @@ func TestPanickingHandlerFailsOperation(t *testing.T) {
 	}
 
 	// The worker must survive the panic and keep processing.
-	good, err := e.Submit("ok", nil)
+	good, err := e.Submit(context.Background(), "ok", nil)
 	if err != nil {
 		t.Fatalf("Submit(ok): %v", err)
 	}
@@ -144,11 +144,11 @@ func TestSubmitValidation(t *testing.T) {
 	e := New(Config{Workers: 1})
 	defer e.Shutdown(context.Background())
 
-	if _, err := e.Submit("nope", nil); !errors.Is(err, core.ErrUnknownKind) {
+	if _, err := e.Submit(context.Background(), "nope", nil); !errors.Is(err, core.ErrUnknownKind) {
 		t.Errorf("Submit(unknown kind) error = %v, want ErrUnknownKind", err)
 	}
 	var inv *core.InvalidError
-	if _, err := e.Submit("", nil); !errors.As(err, &inv) {
+	if _, err := e.Submit(context.Background(), "", nil); !errors.As(err, &inv) {
 		t.Errorf("Submit(empty kind) error = %v, want *core.InvalidError", err)
 	}
 }
@@ -178,7 +178,7 @@ func TestConcurrentSubmitPoll(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < perClient; i++ {
-				op, err := e.Submit("inc", map[string]any{"n": i})
+				op, err := e.Submit(context.Background(), "inc", map[string]any{"n": i})
 				if err != nil {
 					errs <- fmt.Errorf("client %d submit %d: %w", c, i, err)
 					return
@@ -221,8 +221,8 @@ func TestListFilterAndOrder(t *testing.T) {
 	e.Register("ok", func(context.Context, *core.Operation) (any, error) { return nil, nil })
 	e.Register("bad", func(context.Context, *core.Operation) (any, error) { return nil, errors.New("x") })
 
-	first, _ := e.Submit("ok", nil)
-	second, _ := e.Submit("bad", nil)
+	first, _ := e.Submit(context.Background(), "ok", nil)
+	second, _ := e.Submit(context.Background(), "bad", nil)
 	waitStatus(t, e, first.ID)
 	waitStatus(t, e, second.ID)
 
@@ -255,7 +255,7 @@ func TestShutdownDrainsQueue(t *testing.T) {
 	const n = 50
 	ids := make([]string, 0, n)
 	for i := 0; i < n; i++ {
-		op, err := e.Submit("slow", nil)
+		op, err := e.Submit(context.Background(), "slow", nil)
 		if err != nil {
 			t.Fatalf("Submit %d: %v", i, err)
 		}
@@ -281,7 +281,7 @@ func TestShutdownDrainsQueue(t *testing.T) {
 		}
 	}
 
-	if _, err := e.Submit("slow", nil); !errors.Is(err, core.ErrShuttingDown) {
+	if _, err := e.Submit(context.Background(), "slow", nil); !errors.Is(err, core.ErrShuttingDown) {
 		t.Errorf("Submit after shutdown error = %v, want ErrShuttingDown", err)
 	}
 	if err := e.Shutdown(context.Background()); err != nil {
@@ -297,7 +297,7 @@ func TestShutdownDeadlineCancelsHandlers(t *testing.T) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	})
-	op, err := e.Submit("hang", nil)
+	op, err := e.Submit(context.Background(), "hang", nil)
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -328,7 +328,7 @@ func TestSubmitBatchRunsAll(t *testing.T) {
 	for i := range items {
 		items[i] = BatchItem{Kind: "echo", Params: map[string]any{"i": i}}
 	}
-	ops, err := e.SubmitBatch(items)
+	ops, err := e.SubmitBatch(context.Background(), items)
 	if err != nil {
 		t.Fatalf("SubmitBatch: %v", err)
 	}
@@ -354,7 +354,7 @@ func TestSubmitBatchValidatesAtomically(t *testing.T) {
 	defer e.Shutdown(context.Background())
 	e.Register("ok", func(context.Context, *core.Operation) (any, error) { return nil, nil })
 
-	_, err := e.SubmitBatch([]BatchItem{
+	_, err := e.SubmitBatch(context.Background(), []BatchItem{
 		{Kind: "ok"},
 		{Kind: "nope"},
 		{Kind: "ok"},
@@ -384,7 +384,7 @@ func TestSubmitBatchEmpty(t *testing.T) {
 	e := New(Config{Workers: 1})
 	defer e.Shutdown(context.Background())
 	var inv *core.InvalidError
-	if _, err := e.SubmitBatch(nil); !errors.As(err, &inv) {
+	if _, err := e.SubmitBatch(context.Background(), nil); !errors.As(err, &inv) {
 		t.Errorf("SubmitBatch(nil) error = %v, want *core.InvalidError", err)
 	}
 }
@@ -401,7 +401,7 @@ func TestSubmitBatchQueueFullIsAllOrNothing(t *testing.T) {
 
 	// Occupy the single worker, then fill one of the two queue slots,
 	// so a 2-item batch needs more capacity than remains.
-	first, err := e.Submit("block", nil)
+	first, err := e.Submit(context.Background(), "block", nil)
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -410,11 +410,11 @@ func TestSubmitBatchQueueFullIsAllOrNothing(t *testing.T) {
 	}); err != nil {
 		t.Fatalf("first op never started running: %v", err)
 	}
-	if _, err := e.Submit("block", nil); err != nil {
+	if _, err := e.Submit(context.Background(), "block", nil); err != nil {
 		t.Fatalf("Submit (fills one slot): %v", err)
 	}
 
-	over, err := e.SubmitBatch([]BatchItem{{Kind: "block"}, {Kind: "block"}})
+	over, err := e.SubmitBatch(context.Background(), []BatchItem{{Kind: "block"}, {Kind: "block"}})
 	if !errors.Is(err, core.ErrQueueFull) {
 		t.Fatalf("overflowing batch error = %v, want ErrQueueFull", err)
 	}
@@ -427,7 +427,7 @@ func TestSubmitBatchQueueFullIsAllOrNothing(t *testing.T) {
 
 	// The failed reservation must have returned its slot: a batch
 	// that fits the remaining capacity must now succeed.
-	fits, err := e.SubmitBatch([]BatchItem{{Kind: "block"}})
+	fits, err := e.SubmitBatch(context.Background(), []BatchItem{{Kind: "block"}})
 	if err != nil {
 		t.Fatalf("fitting batch after rejected batch: %v", err)
 	}
@@ -446,7 +446,7 @@ func TestSubmitBatchLargerThanQueueCapacity(t *testing.T) {
 	// it must be a permanent InvalidError, not the retryable
 	// ErrQueueFull.
 	var inv *core.InvalidError
-	_, err := e.SubmitBatch([]BatchItem{{Kind: "ok"}, {Kind: "ok"}, {Kind: "ok"}})
+	_, err := e.SubmitBatch(context.Background(), []BatchItem{{Kind: "ok"}, {Kind: "ok"}, {Kind: "ok"}})
 	if !errors.As(err, &inv) {
 		t.Fatalf("over-capacity batch error = %v, want *core.InvalidError", err)
 	}
@@ -461,7 +461,7 @@ func TestSubmitBatchAfterShutdown(t *testing.T) {
 	if err := e.Shutdown(context.Background()); err != nil {
 		t.Fatalf("Shutdown: %v", err)
 	}
-	if _, err := e.SubmitBatch([]BatchItem{{Kind: "ok"}}); !errors.Is(err, core.ErrShuttingDown) {
+	if _, err := e.SubmitBatch(context.Background(), []BatchItem{{Kind: "ok"}}); !errors.Is(err, core.ErrShuttingDown) {
 		t.Errorf("SubmitBatch after shutdown error = %v, want ErrShuttingDown", err)
 	}
 }
@@ -482,7 +482,7 @@ func TestCancelQueuedNeverRuns(t *testing.T) {
 	})
 
 	// Occupy the single worker so the tracked op stays queued.
-	blocker, err := e.Submit("block", nil)
+	blocker, err := e.Submit(context.Background(), "block", nil)
 	if err != nil {
 		t.Fatalf("Submit(block): %v", err)
 	}
@@ -491,7 +491,7 @@ func TestCancelQueuedNeverRuns(t *testing.T) {
 	}); err != nil {
 		t.Fatalf("blocker never started: %v", err)
 	}
-	queued, err := e.Submit("track", nil)
+	queued, err := e.Submit(context.Background(), "track", nil)
 	if err != nil {
 		t.Fatalf("Submit(track): %v", err)
 	}
@@ -540,7 +540,7 @@ func TestCancelRunningSignalsContext(t *testing.T) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	})
-	op, err := e.Submit("hang", nil)
+	op, err := e.Submit(context.Background(), "hang", nil)
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -569,7 +569,7 @@ func TestCancelErrors(t *testing.T) {
 	if _, err := e.Cancel("missing"); !errors.Is(err, core.ErrNotFound) {
 		t.Errorf("Cancel(missing) error = %v, want ErrNotFound", err)
 	}
-	op, err := e.Submit("ok", nil)
+	op, err := e.Submit(context.Background(), "ok", nil)
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -588,7 +588,7 @@ func TestPerKindDeadlineFailsSlowHandler(t *testing.T) {
 		return nil, ctx.Err()
 	}, WithDeadline(20*time.Millisecond))
 
-	op, err := e.Submit("slow", nil)
+	op, err := e.Submit(context.Background(), "slow", nil)
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -616,7 +616,7 @@ func TestDefaultDeadlineAppliesWhenKindHasNone(t *testing.T) {
 		return "done", nil
 	})
 
-	slow, err := e.Submit("slow", nil)
+	slow, err := e.Submit(context.Background(), "slow", nil)
 	if err != nil {
 		t.Fatalf("Submit(slow): %v", err)
 	}
@@ -626,7 +626,7 @@ func TestDefaultDeadlineAppliesWhenKindHasNone(t *testing.T) {
 	if final := waitStatus(t, e, slow.ID); final.Status != core.StatusFailed {
 		t.Errorf("slow op status = %s, want failed via default deadline", final.Status)
 	}
-	fast, err := e.Submit("fast", nil)
+	fast, err := e.Submit(context.Background(), "fast", nil)
 	if err != nil {
 		t.Fatalf("Submit(fast): %v", err)
 	}
@@ -663,7 +663,7 @@ func TestGCEvictsOnlyExpiredTerminal(t *testing.T) {
 	})
 
 	// A running op must never be evicted, no matter how old.
-	running, err := e.Submit("block", nil)
+	running, err := e.Submit(context.Background(), "block", nil)
 	if err != nil {
 		t.Fatalf("Submit(block): %v", err)
 	}
@@ -672,7 +672,7 @@ func TestGCEvictsOnlyExpiredTerminal(t *testing.T) {
 	}); err != nil {
 		t.Fatalf("blocker never started: %v", err)
 	}
-	done, err := e.Submit("ok", nil)
+	done, err := e.Submit(context.Background(), "ok", nil)
 	if err != nil {
 		t.Fatalf("Submit(ok): %v", err)
 	}
@@ -702,7 +702,7 @@ func TestGCDisabledWithoutTTL(t *testing.T) {
 	e := New(Config{Workers: 1})
 	defer e.Shutdown(context.Background())
 	e.Register("ok", func(context.Context, *core.Operation) (any, error) { return nil, nil })
-	op, _ := e.Submit("ok", nil)
+	op, _ := e.Submit(context.Background(), "ok", nil)
 	waitStatus(t, e, op.ID)
 	if n := e.GC(); n != 0 {
 		t.Errorf("GC without TTL evicted %d ops, want 0 (disabled)", n)
@@ -719,7 +719,7 @@ func TestJanitorBoundsStoreUnderLoad(t *testing.T) {
 
 	const n = 64
 	for i := 0; i < n; i++ {
-		if _, err := e.Submit("ok", nil); err != nil {
+		if _, err := e.Submit(context.Background(), "ok", nil); err != nil {
 			t.Fatalf("Submit %d: %v", i, err)
 		}
 	}
@@ -759,7 +759,7 @@ func TestStatsReportSaturation(t *testing.T) {
 	})
 	// Fill all workers plus two queued.
 	for i := 0; i < 5; i++ {
-		if _, err := e.Submit("block", nil); err != nil {
+		if _, err := e.Submit(context.Background(), "block", nil); err != nil {
 			t.Fatalf("Submit %d: %v", i, err)
 		}
 	}
@@ -789,7 +789,7 @@ func TestQueueFull(t *testing.T) {
 
 	// First submission occupies the single worker; fill the queue
 	// behind it, then the next submission must fail fast.
-	first, err := e.Submit("block", nil)
+	first, err := e.Submit(context.Background(), "block", nil)
 	if err != nil {
 		t.Fatalf("Submit 1: %v", err)
 	}
@@ -800,10 +800,10 @@ func TestQueueFull(t *testing.T) {
 	}); err != nil {
 		t.Fatalf("first op never started running: %v", err)
 	}
-	if _, err := e.Submit("block", nil); err != nil {
+	if _, err := e.Submit(context.Background(), "block", nil); err != nil {
 		t.Fatalf("Submit 2 (fills queue): %v", err)
 	}
-	over, err := e.Submit("block", nil)
+	over, err := e.Submit(context.Background(), "block", nil)
 	if !errors.Is(err, core.ErrQueueFull) {
 		t.Fatalf("Submit 3 error = %v, want ErrQueueFull", err)
 	}

@@ -139,6 +139,11 @@ func (sh *storeShard) update(id string, fn func(op *core.Operation)) error {
 		return core.ErrNotFound
 	}
 	c := old.Clone()
+	// This is THE sanctioned callback-under-lock: Update's contract is
+	// that fn mutates a private clone atomically with its publication,
+	// and every engine callback is a handful of field writes. Anything
+	// heavier belongs outside the store.
+	//lint:allow opdaemon/lockscope Update's clone-mutation callback is the store's core contract
 	fn(c)
 	sh.ops[id] = c
 	if c.ID == old.ID && c.CreatedAt.Equal(old.CreatedAt) {
