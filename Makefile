@@ -14,7 +14,11 @@ STATICCHECK_VERSION ?= 2025.1
 # Pinned govulncheck release, same reproducibility rationale.
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test lint vet fmt-check fmt bench bench-e2e staticcheck opdaemonlint vuln
+# fuzz-smoke budget per target; raise locally for real fuzzing
+# campaigns (e.g. make fuzz-smoke FUZZTIME=5m).
+FUZZTIME ?= 10s
+
+.PHONY: all build test lint vet fmt-check fmt bench bench-e2e staticcheck opdaemonlint vuln fuzz-smoke
 
 all: build lint fmt-check test
 
@@ -60,6 +64,15 @@ bench:
 # a store-layer one. See docs/performance.md.
 bench-e2e:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -cpu=$(BENCHCPU) -run '^$$' ./internal/api/
+
+# Short coverage-guided fuzz runs over the cursor parsers (the
+# client-controlled values parsed into internal positions). One `go
+# test -fuzz` invocation accepts a single target, hence one line per
+# fuzzer; seed corpora alone also run as normal tests under `make
+# test`.
+fuzz-smoke:
+	$(GO) test -fuzz '^FuzzNoticesCursor$$' -fuzztime=$(FUZZTIME) -run '^Fuzz' ./internal/api/
+	$(GO) test -fuzz '^FuzzListQueryCursor$$' -fuzztime=$(FUZZTIME) -run '^Fuzz' ./internal/api/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

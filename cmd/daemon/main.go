@@ -37,6 +37,8 @@ type daemonConfig struct {
 	opTTL           time.Duration
 	gcInterval      time.Duration
 	defaultDeadline time.Duration
+	noticeRing      int
+	maxWait         time.Duration
 }
 
 func main() {
@@ -50,6 +52,8 @@ func main() {
 	flag.DurationVar(&cfg.opTTL, "op-ttl", 0, "retention for terminal operations; 0 keeps them forever, >0 starts a janitor that evicts older ones")
 	flag.DurationVar(&cfg.gcInterval, "gc-interval", 0, "how often the janitor sweeps (default op-ttl/2, min 1s); ignored when -op-ttl is 0")
 	flag.DurationVar(&cfg.defaultDeadline, "default-deadline", 0, "execution deadline for kinds registered without their own; 0 means unbounded")
+	flag.IntVar(&cfg.noticeRing, "notice-ring", 4096, "state-transition notices retained for /v1/notices; older ones fall off the ring")
+	flag.DurationVar(&cfg.maxWait, "max-wait", 60*time.Second, "upper bound on ?wait=true long-poll timeouts; longer client requests are clamped")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -73,6 +77,7 @@ func run(cfg daemonConfig) error {
 		OpTTL:           cfg.opTTL,
 		GCInterval:      cfg.gcInterval,
 		DefaultDeadline: cfg.defaultDeadline,
+		NoticeRingSize:  cfg.noticeRing,
 	})
 	registerBuiltins(eng)
 
@@ -102,15 +107,22 @@ func run(cfg daemonConfig) error {
 		}()
 	}
 
+	// The write timeout must outlast the longest permitted long-poll,
+	// or the server would cut ?wait=true connections mid-wait; the
+	// margin covers writing the response after the wait resolves.
+	writeTimeout := 30 * time.Second
+	if cfg.maxWait+15*time.Second > writeTimeout {
+		writeTimeout = cfg.maxWait + 15*time.Second
+	}
 	srv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           api.New(eng),
+		Handler:           api.New(eng, api.WithMaxWait(cfg.maxWait)),
 		ReadHeaderTimeout: 5 * time.Second,
 		// Bound request reads, response writes, and idle keep-alives
 		// so a client trickling bytes in either direction can't hold
 		// a goroutine forever.
 		ReadTimeout:  30 * time.Second,
-		WriteTimeout: 30 * time.Second,
+		WriteTimeout: writeTimeout,
 		IdleTimeout:  2 * time.Minute,
 	}
 

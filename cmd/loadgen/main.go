@@ -21,6 +21,15 @@
 // breaks down cancel outcomes: 202 (cancel accepted) vs 409 (the
 // operation won the race and finished first). This exercises the
 // daemon's cancellation path under the same load as submission.
+//
+// With -observe, each accepted operation is additionally followed to
+// its terminal state and the report gains the read-path economics:
+// GET requests spent per completed operation and the time from
+// acceptance to observing the terminal state. -observe poll loops
+// plain GETs every -poll-interval (the classic poll-until-terminal
+// client); -observe watch replaces the loop with ?wait=true
+// long-polls. Run both against the same daemon to measure what the
+// watch path saves — that comparison is what BENCH_7.json records.
 package main
 
 import (
@@ -52,11 +61,14 @@ func main() {
 		seed        = flag.Int64("seed", 1, "seed for the kind-mix random source")
 		cancelFrac  = flag.Float64("cancel-frac", 0, "fraction (0..1) of accepted operations to cancel via DELETE")
 		listEvery   = flag.Int("list-every", 0, "issue GET /v1/operations?limit=50 after every N submissions per worker (0 disables); exercises the daemon's read path under load")
+		observe     = flag.String("observe", "", "follow each accepted operation to its terminal state: 'poll' loops plain GETs at -poll-interval, 'watch' uses ?wait=true long-polls; empty disables")
+		pollInt     = flag.Duration("poll-interval", 25*time.Millisecond, "delay between GETs in -observe poll mode")
+		observeTO   = flag.Duration("observe-timeout", 30*time.Second, "max time to follow one operation to terminal (also sent as the long-poll timeout in watch mode)")
 		jsonPath    = flag.String("json", "", "also write the report as JSON to this path (schema in docs/loadgen.md), for the BENCH_*.json perf trajectory")
 	)
 	flag.Parse()
 
-	cfg, err := newRunConfig(*addr, *concurrency, *duration, *batch, *kinds, *params, *timeout, *cancelFrac, *listEvery)
+	cfg, err := newRunConfig(*addr, *concurrency, *duration, *batch, *kinds, *params, *timeout, *cancelFrac, *listEvery, *observe, *pollInt, *observeTO)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(2)
@@ -69,9 +81,10 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	// List failures gate the exit status like transport errors do: a
-	// scripted bench run must not record a broken read path as green.
-	if report.transportErrs > 0 || report.listErrs > 0 || report.accepted == 0 {
+	// List and observe failures gate the exit status like transport
+	// errors do: a scripted bench run must not record a broken read
+	// path as green.
+	if report.transportErrs > 0 || report.listErrs > 0 || report.observeErrs > 0 || report.accepted == 0 {
 		os.Exit(1)
 	}
 }
@@ -88,11 +101,16 @@ type runConfig struct {
 	timeout     time.Duration
 	cancelFrac  float64
 	listEvery   int
+	// observe selects the follow-to-terminal mode: "" (off), "poll"
+	// (GET loop at pollInterval), or "watch" (?wait=true long-polls).
+	observe        string
+	pollInterval   time.Duration
+	observeTimeout time.Duration
 }
 
 // newRunConfig validates flags into a runConfig, rejecting values that
 // would make the run meaningless (zero concurrency, empty mix, ...).
-func newRunConfig(addr string, concurrency int, duration time.Duration, batch int, kinds, params string, timeout time.Duration, cancelFrac float64, listEvery int) (*runConfig, error) {
+func newRunConfig(addr string, concurrency int, duration time.Duration, batch int, kinds, params string, timeout time.Duration, cancelFrac float64, listEvery int, observe string, pollInterval, observeTimeout time.Duration) (*runConfig, error) {
 	if concurrency < 1 {
 		return nil, fmt.Errorf("concurrency must be >= 1, got %d", concurrency)
 	}
@@ -108,6 +126,17 @@ func newRunConfig(addr string, concurrency int, duration time.Duration, batch in
 	if listEvery < 0 {
 		return nil, fmt.Errorf("list-every must be >= 0, got %d", listEvery)
 	}
+	switch observe {
+	case "", "poll", "watch":
+	default:
+		return nil, fmt.Errorf("observe must be empty, poll, or watch, got %q", observe)
+	}
+	if observe == "poll" && pollInterval <= 0 {
+		return nil, fmt.Errorf("poll-interval must be positive in poll mode, got %s", pollInterval)
+	}
+	if observe != "" && observeTimeout <= 0 {
+		return nil, fmt.Errorf("observe-timeout must be positive, got %s", observeTimeout)
+	}
 	mix, err := parseKindMix(kinds)
 	if err != nil {
 		return nil, err
@@ -119,15 +148,18 @@ func newRunConfig(addr string, concurrency int, duration time.Duration, batch in
 		}
 	}
 	return &runConfig{
-		url:         "http://" + addr + "/v1/operations",
-		concurrency: concurrency,
-		duration:    duration,
-		batch:       batch,
-		mix:         mix,
-		params:      p,
-		timeout:     timeout,
-		cancelFrac:  cancelFrac,
-		listEvery:   listEvery,
+		url:            "http://" + addr + "/v1/operations",
+		concurrency:    concurrency,
+		duration:       duration,
+		batch:          batch,
+		mix:            mix,
+		params:         p,
+		timeout:        timeout,
+		cancelFrac:     cancelFrac,
+		listEvery:      listEvery,
+		observe:        observe,
+		pollInterval:   pollInterval,
+		observeTimeout: observeTimeout,
 	}, nil
 }
 
@@ -216,23 +248,33 @@ type workerStats struct {
 	cancelled       int64
 	cancelConflicts int64
 	cancelErrs      int64
+	observeGets     int64
+	observed        int64
+	observeErrs     int64
+	// observeLatencies holds time from 202-acceptance to the terminal
+	// state being observed, one sample per followed operation.
+	observeLatencies []time.Duration
 }
 
 // report is the merged result of a run.
 type report struct {
-	elapsed         time.Duration
-	requests        int64
-	accepted        int64
-	latencies       []time.Duration
-	listRequests    int64
-	listErrs        int64
-	listLatencies   []time.Duration
-	codes           map[int]int64
-	transportErrs   int64
-	cancelRequested int64
-	cancelled       int64
-	cancelConflicts int64
-	cancelErrs      int64
+	elapsed          time.Duration
+	requests         int64
+	accepted         int64
+	latencies        []time.Duration
+	listRequests     int64
+	listErrs         int64
+	listLatencies    []time.Duration
+	codes            map[int]int64
+	transportErrs    int64
+	cancelRequested  int64
+	cancelled        int64
+	cancelConflicts  int64
+	cancelErrs       int64
+	observeGets      int64
+	observed         int64
+	observeErrs      int64
+	observeLatencies []time.Duration
 }
 
 // run fires cfg.concurrency workers at the daemon until the duration
@@ -248,6 +290,18 @@ func (cfg *runConfig) run(seed int64) *report {
 			MaxIdleConnsPerHost: cfg.concurrency,
 		},
 	}
+	// Observe requests get their own client: a watch-mode long-poll
+	// legitimately holds the connection for up to observeTimeout, which
+	// the tight submission timeout would cut short.
+	var observeClient *http.Client
+	if cfg.observe != "" {
+		observeClient = &http.Client{
+			Timeout: cfg.observeTimeout + 5*time.Second,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: cfg.concurrency,
+			},
+		}
+	}
 	deadline := time.Now().Add(cfg.duration)
 	stats := make([]*workerStats, cfg.concurrency)
 	var wg sync.WaitGroup
@@ -257,7 +311,7 @@ func (cfg *runConfig) run(seed int64) *report {
 		stats[i] = &workerStats{codes: make(map[int]int64)}
 		go func(ws *workerStats, workerSeed int64) {
 			defer wg.Done()
-			cfg.worker(client, ws, deadline, workerSeed)
+			cfg.worker(client, observeClient, ws, deadline, workerSeed)
 		}(stats[i], seed+int64(i))
 	}
 	wg.Wait()
@@ -274,20 +328,25 @@ func (cfg *runConfig) run(seed int64) *report {
 		merged.cancelled += ws.cancelled
 		merged.cancelConflicts += ws.cancelConflicts
 		merged.cancelErrs += ws.cancelErrs
+		merged.observeGets += ws.observeGets
+		merged.observed += ws.observed
+		merged.observeErrs += ws.observeErrs
 		merged.latencies = append(merged.latencies, ws.latencies...)
 		merged.listLatencies = append(merged.listLatencies, ws.listLatencies...)
+		merged.observeLatencies = append(merged.observeLatencies, ws.observeLatencies...)
 		for code, n := range ws.codes {
 			merged.codes[code] += n
 		}
 	}
 	sort.Slice(merged.latencies, func(i, j int) bool { return merged.latencies[i] < merged.latencies[j] })
 	sort.Slice(merged.listLatencies, func(i, j int) bool { return merged.listLatencies[i] < merged.listLatencies[j] })
+	sort.Slice(merged.observeLatencies, func(i, j int) bool { return merged.observeLatencies[i] < merged.observeLatencies[j] })
 	return merged
 }
 
 // worker is one submitter loop: build a body from the mix, POST it,
 // record the outcome, repeat until the deadline.
-func (cfg *runConfig) worker(client *http.Client, ws *workerStats, deadline time.Time, seed int64) {
+func (cfg *runConfig) worker(client, observeClient *http.Client, ws *workerStats, deadline time.Time, seed int64) {
 	r := rand.New(rand.NewSource(seed))
 	submits := 0
 	for time.Now().Before(deadline) {
@@ -307,11 +366,12 @@ func (cfg *runConfig) worker(client *http.Client, ws *workerStats, deadline time
 			ws.transportErrs++
 			continue
 		}
-		// The reply body is only needed when cancellation must learn
-		// the accepted IDs; otherwise drain it unread to keep the
-		// submission hot loop allocation-light.
+		// The reply body is only needed when cancellation or observe
+		// must learn the accepted IDs; otherwise drain it unread to
+		// keep the submission hot loop allocation-light.
+		needIDs := cfg.cancelFrac > 0 || cfg.observe != ""
 		var replyBody []byte
-		if cfg.cancelFrac > 0 && resp.StatusCode == http.StatusAccepted {
+		if needIDs && resp.StatusCode == http.StatusAccepted {
 			replyBody, _ = io.ReadAll(resp.Body)
 		} else {
 			io.Copy(io.Discard, resp.Body)
@@ -323,14 +383,83 @@ func (cfg *runConfig) worker(client *http.Client, ws *workerStats, deadline time
 			// Batch validation is atomic, so a 202 means every item
 			// was accepted.
 			ws.accepted += int64(cfg.batch)
-			if cfg.cancelFrac > 0 {
-				cfg.cancelSome(client, ws, r, replyBody)
+			if needIDs {
+				ids, err := extractIDs(replyBody, cfg.batch > 1)
+				if err != nil {
+					ws.observeErrs++
+					continue
+				}
+				if cfg.cancelFrac > 0 {
+					cfg.cancelSome(client, ws, r, ids)
+				}
+				if cfg.observe != "" {
+					for _, id := range ids {
+						cfg.observeOne(observeClient, ws, id, begin)
+					}
+				}
 			}
 		}
 		if submits++; cfg.listEvery > 0 && submits%cfg.listEvery == 0 {
 			cfg.listOnce(client, ws)
 		}
 	}
+}
+
+// observeReply is the slice of the GET envelope observation needs.
+type observeReply struct {
+	Result struct {
+		Status string `json:"status"`
+	} `json:"result"`
+}
+
+// terminalStatus mirrors core.Status.Terminal for the wire strings.
+func terminalStatus(s string) bool {
+	return s == "done" || s == "failed" || s == "cancelled"
+}
+
+// observeOne follows a single accepted operation to its terminal state
+// and records the cost: every GET issued counts toward observeGets, and
+// the time from acceptance to the terminal observation lands in
+// observeLatencies. In watch mode each GET is a ?wait=true long-poll —
+// the server holds the request until the next state change — so an
+// operation typically costs one or two GETs; in poll mode the loop
+// sleeps pollInterval between plain GETs, the classic client the watch
+// path exists to replace.
+func (cfg *runConfig) observeOne(client *http.Client, ws *workerStats, id string, accepted time.Time) {
+	url := cfg.url + "/" + id
+	if cfg.observe == "watch" {
+		url += "?wait=true&timeout=" + cfg.observeTimeout.String()
+	}
+	deadline := accepted.Add(cfg.observeTimeout)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(url)
+		ws.observeGets++
+		if err != nil {
+			ws.observeErrs++
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			ws.observeErrs++
+			return
+		}
+		var reply observeReply
+		if err := json.Unmarshal(body, &reply); err != nil {
+			ws.observeErrs++
+			return
+		}
+		if terminalStatus(reply.Result.Status) {
+			ws.observed++
+			ws.observeLatencies = append(ws.observeLatencies, time.Since(accepted))
+			return
+		}
+		if cfg.observe == "poll" {
+			time.Sleep(cfg.pollInterval)
+		}
+	}
+	// Ran out of observe budget without seeing a terminal state.
+	ws.observeErrs++
 }
 
 // listOnce issues one poll-style page request — the read path snapd
@@ -356,12 +485,7 @@ func (cfg *runConfig) listOnce(client *http.Client, ws *workerStats) {
 
 // cancelSome draws each accepted ID against the cancel fraction and
 // issues DELETE for the selected ones, tallying the outcomes.
-func (cfg *runConfig) cancelSome(client *http.Client, ws *workerStats, r *rand.Rand, replyBody []byte) {
-	ids, err := extractIDs(replyBody, cfg.batch > 1)
-	if err != nil {
-		ws.cancelErrs++
-		return
-	}
+func (cfg *runConfig) cancelSome(client *http.Client, ws *workerStats, r *rand.Rand, ids []string) {
 	for _, id := range ids {
 		if r.Float64() >= cfg.cancelFrac {
 			continue
@@ -499,6 +623,24 @@ func (rep *report) format(cfg *runConfig) string {
 			fmt.Fprintf(&b, "cancel errors: %d\n", rep.cancelErrs)
 		}
 	}
+	if cfg.observe != "" {
+		getsPerOp := 0.0
+		if rep.observed > 0 {
+			getsPerOp = float64(rep.observeGets) / float64(rep.observed)
+		}
+		fmt.Fprintf(&b, "observe:    mode=%s %d observed, %d gets (%.2f gets/op)\n",
+			cfg.observe, rep.observed, rep.observeGets, getsPerOp)
+		if len(rep.observeLatencies) > 0 {
+			fmt.Fprintf(&b, "to-terminal: p50=%s p90=%s p99=%s max=%s\n",
+				percentile(rep.observeLatencies, 50).Round(time.Microsecond),
+				percentile(rep.observeLatencies, 90).Round(time.Microsecond),
+				percentile(rep.observeLatencies, 99).Round(time.Microsecond),
+				rep.observeLatencies[len(rep.observeLatencies)-1].Round(time.Microsecond))
+		}
+		if rep.observeErrs > 0 {
+			fmt.Fprintf(&b, "observe errors: %d\n", rep.observeErrs)
+		}
+	}
 	if rep.transportErrs > 0 {
 		fmt.Fprintf(&b, "transport errors: %d\n", rep.transportErrs)
 	}
@@ -542,6 +684,9 @@ type jsonReport struct {
 		Kinds           string  `json:"kinds"`
 		CancelFrac      float64 `json:"cancel_frac"`
 		ListEvery       int     `json:"list_every"`
+		Observe         string  `json:"observe,omitempty"`
+		PollIntervalMs  float64 `json:"poll_interval_ms,omitempty"`
+		ObserveTimeoutS float64 `json:"observe_timeout_seconds,omitempty"`
 	} `json:"config"`
 	ElapsedSeconds      float64          `json:"elapsed_seconds"`
 	Requests            int64            `json:"requests"`
@@ -557,6 +702,11 @@ type jsonReport struct {
 	Cancelled           int64            `json:"cancelled,omitempty"`
 	CancelConflicts     int64            `json:"cancel_conflicts,omitempty"`
 	CancelErrors        int64            `json:"cancel_errors,omitempty"`
+	OpsObserved         int64            `json:"ops_observed,omitempty"`
+	ObserveGets         int64            `json:"observe_gets,omitempty"`
+	GetsPerOp           float64          `json:"gets_per_op,omitempty"`
+	TimeToTerminal      *jsonPercentiles `json:"time_to_terminal,omitempty"`
+	ObserveErrors       int64            `json:"observe_errors,omitempty"`
 	TransportErrors     int64            `json:"transport_errors"`
 }
 
@@ -571,6 +721,13 @@ func (rep *report) writeJSON(path string, cfg *runConfig) error {
 	jr.Config.Kinds = cfg.mix.String()
 	jr.Config.CancelFrac = cfg.cancelFrac
 	jr.Config.ListEvery = cfg.listEvery
+	if cfg.observe != "" {
+		jr.Config.Observe = cfg.observe
+		if cfg.observe == "poll" {
+			jr.Config.PollIntervalMs = float64(cfg.pollInterval) / float64(time.Millisecond)
+		}
+		jr.Config.ObserveTimeoutS = cfg.observeTimeout.Seconds()
+	}
 	secs := rep.elapsed.Seconds()
 	jr.ElapsedSeconds = secs
 	jr.Requests = rep.requests
@@ -592,6 +749,16 @@ func (rep *report) writeJSON(path string, cfg *runConfig) error {
 	jr.Cancelled = rep.cancelled
 	jr.CancelConflicts = rep.cancelConflicts
 	jr.CancelErrors = rep.cancelErrs
+	if cfg.observe != "" {
+		jr.OpsObserved = rep.observed
+		jr.ObserveGets = rep.observeGets
+		if rep.observed > 0 {
+			jr.GetsPerOp = float64(rep.observeGets) / float64(rep.observed)
+		}
+		op := toJSONPercentiles(rep.observeLatencies)
+		jr.TimeToTerminal = &op
+		jr.ObserveErrors = rep.observeErrs
+	}
 	jr.TransportErrors = rep.transportErrs
 	out, err := json.MarshalIndent(&jr, "", "  ")
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -128,7 +129,7 @@ func TestRunAgainstStubDaemon(t *testing.T) {
 	defer srv.Close()
 
 	addr := strings.TrimPrefix(srv.URL, "http://")
-	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 4, "noop=1", "", time.Second, 0, 0)
+	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 4, "noop=1", "", time.Second, 0, 0, "", 25*time.Millisecond, 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,24 +153,31 @@ func TestRunAgainstStubDaemon(t *testing.T) {
 
 func TestNewRunConfigValidation(t *testing.T) {
 	for name, tc := range map[string]struct {
-		concurrency int
-		batch       int
-		duration    time.Duration
-		kinds       string
-		params      string
-		cancelFrac  float64
-		listEvery   int
+		concurrency    int
+		batch          int
+		duration       time.Duration
+		kinds          string
+		params         string
+		cancelFrac     float64
+		listEvery      int
+		observe        string
+		pollInterval   time.Duration
+		observeTimeout time.Duration
 	}{
-		"zero concurrency":     {0, 1, time.Second, "noop=1", "", 0, 0},
-		"zero batch":           {1, 0, time.Second, "noop=1", "", 0, 0},
-		"zero duration":        {1, 1, 0, "noop=1", "", 0, 0},
-		"bad mix":              {1, 1, time.Second, "noop=zero", "", 0, 0},
-		"bad params":           {1, 1, time.Second, "noop=1", "{not json", 0, 0},
-		"negative cancel frac": {1, 1, time.Second, "noop=1", "", -0.1, 0},
-		"cancel frac over one": {1, 1, time.Second, "noop=1", "", 1.5, 0},
-		"negative list every":  {1, 1, time.Second, "noop=1", "", 0, -1},
+		"zero concurrency":       {0, 1, time.Second, "noop=1", "", 0, 0, "", time.Millisecond, time.Second},
+		"zero batch":             {1, 0, time.Second, "noop=1", "", 0, 0, "", time.Millisecond, time.Second},
+		"zero duration":          {1, 1, 0, "noop=1", "", 0, 0, "", time.Millisecond, time.Second},
+		"bad mix":                {1, 1, time.Second, "noop=zero", "", 0, 0, "", time.Millisecond, time.Second},
+		"bad params":             {1, 1, time.Second, "noop=1", "{not json", 0, 0, "", time.Millisecond, time.Second},
+		"negative cancel frac":   {1, 1, time.Second, "noop=1", "", -0.1, 0, "", time.Millisecond, time.Second},
+		"cancel frac over one":   {1, 1, time.Second, "noop=1", "", 1.5, 0, "", time.Millisecond, time.Second},
+		"negative list every":    {1, 1, time.Second, "noop=1", "", 0, -1, "", time.Millisecond, time.Second},
+		"unknown observe mode":   {1, 1, time.Second, "noop=1", "", 0, 0, "longpoll", time.Millisecond, time.Second},
+		"zero poll interval":     {1, 1, time.Second, "noop=1", "", 0, 0, "poll", 0, time.Second},
+		"zero observe timeout":   {1, 1, time.Second, "noop=1", "", 0, 0, "watch", time.Millisecond, 0},
+		"uppercase observe mode": {1, 1, time.Second, "noop=1", "", 0, 0, "Watch", time.Millisecond, time.Second},
 	} {
-		if _, err := newRunConfig("x", tc.concurrency, tc.duration, tc.batch, tc.kinds, tc.params, time.Second, tc.cancelFrac, tc.listEvery); err == nil {
+		if _, err := newRunConfig("x", tc.concurrency, tc.duration, tc.batch, tc.kinds, tc.params, time.Second, tc.cancelFrac, tc.listEvery, tc.observe, tc.pollInterval, tc.observeTimeout); err == nil {
 			t.Errorf("%s: newRunConfig accepted invalid input", name)
 		}
 	}
@@ -224,7 +232,7 @@ func TestRunWithListEvery(t *testing.T) {
 	defer srv.Close()
 
 	addr := strings.TrimPrefix(srv.URL, "http://")
-	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 1, "noop=1", "", time.Second, 0, 3)
+	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 1, "noop=1", "", time.Second, 0, 3, "", 25*time.Millisecond, 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,6 +260,78 @@ func TestRunWithListEvery(t *testing.T) {
 	}
 	if out := rep.format(cfg); !strings.Contains(out, "lists:") {
 		t.Errorf("report missing lists line:\n%s", out)
+	}
+}
+
+// TestRunWithObserve drives a stub daemon whose operations take two
+// reads to report terminal — first GET says running, second says done —
+// and checks both observe modes count gets and record time-to-terminal.
+func TestRunWithObserve(t *testing.T) {
+	for _, mode := range []string{"poll", "watch"} {
+		t.Run(mode, func(t *testing.T) {
+			var mu sync.Mutex
+			reads := map[string]int{}
+			submissions := 0
+			sawWait := false
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.Method == http.MethodGet {
+					mu.Lock()
+					reads[r.URL.Path]++
+					n := reads[r.URL.Path]
+					if r.URL.Query().Get("wait") == "true" {
+						sawWait = true
+					}
+					mu.Unlock()
+					status := "running"
+					if n >= 2 {
+						status = "done"
+					}
+					w.Write([]byte(`{"type":"sync","status_code":200,"result":{"id":"x","status":"` + status + `"}}`))
+					return
+				}
+				w.WriteHeader(http.StatusAccepted)
+				// Each submission gets a distinct ID so the stub's
+				// per-path read counts don't bleed across operations.
+				mu.Lock()
+				submissions++
+				id := strconv.Itoa(submissions)
+				mu.Unlock()
+				w.Write([]byte(`{"type":"async","status_code":202,"result":{"id":"` + id + `","kind":"noop","status":"queued"}}`))
+			}))
+			defer srv.Close()
+
+			addr := strings.TrimPrefix(srv.URL, "http://")
+			cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 1, "noop=1", "", time.Second, 0, 0, mode, time.Millisecond, 5*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := cfg.run(1)
+			if rep.requests == 0 {
+				t.Fatal("run made no requests")
+			}
+			if rep.observeErrs != 0 {
+				t.Fatalf("observe errors = %d, want 0", rep.observeErrs)
+			}
+			if rep.observed == 0 {
+				t.Fatal("observed no operations")
+			}
+			if rep.observeGets < 2*rep.observed {
+				t.Errorf("two-read stub: observeGets = %d, want >= 2*observed = %d", rep.observeGets, 2*rep.observed)
+			}
+			if len(rep.observeLatencies) != int(rep.observed) {
+				t.Errorf("recorded %d observe latencies for %d observed ops", len(rep.observeLatencies), rep.observed)
+			}
+			mu.Lock()
+			gotWait := sawWait
+			mu.Unlock()
+			if wantWait := mode == "watch"; gotWait != wantWait {
+				t.Errorf("mode %s: stub saw wait=true query = %v, want %v", mode, gotWait, wantWait)
+			}
+			out := rep.format(cfg)
+			if !strings.Contains(out, "observe:") || !strings.Contains(out, "to-terminal:") {
+				t.Errorf("report missing observe lines:\n%s", out)
+			}
+		})
 	}
 }
 
@@ -334,7 +414,7 @@ func TestRunWithCancelFrac(t *testing.T) {
 	defer srv.Close()
 
 	addr := strings.TrimPrefix(srv.URL, "http://")
-	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 1, "noop=1", "", time.Second, 1.0, 0)
+	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 1, "noop=1", "", time.Second, 1.0, 0, "", 25*time.Millisecond, 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,13 @@
-// Package lockscope polices the store's shard critical sections. A
-// storeShard (or cancelShard) mutex guards a few map and slice
-// operations and nothing else; anything that can block or re-enter the
-// store while the shard lock is held turns a nanosecond critical
-// section into a stall or a self-deadlock. Between a `<shard>.mu.Lock`
-// (or RLock) and its release the analyzer forbids:
+// Package lockscope polices the engine's shard critical sections. A
+// storeShard, cancelShard, or watchShard mutex (and the noticeRing's)
+// guards a few map and slice operations and nothing else; anything
+// that can block or re-enter the store while the shard lock is held
+// turns a nanosecond critical section into a stall or a self-deadlock.
+// For the watch hub specifically, the rule forces the wake protocol:
+// notify must detach the waiter list under the lock and perform the
+// channel sends after unlock — a send under the shard lock is exactly
+// the deadlock-shaped bug the flagged fixture pins. Between a
+// `<shard>.mu.Lock` (or RLock) and its release the analyzer forbids:
 //
 //   - blocking channel operations (sends, receives, selects with no
 //     default, ranging over a channel);
@@ -46,6 +50,8 @@ var Analyzer = &lintkit.Analyzer{
 var policedTypes = map[string]bool{
 	"storeShard":  true,
 	"cancelShard": true,
+	"watchShard":  true,
+	"noticeRing":  true,
 }
 
 // storeInterface names the interface whose methods must not be called

@@ -147,6 +147,61 @@ func suppressedCallback(sh *storeShard, fn func()) {
 	fn()
 }
 
+// watchShard mirrors the broadcast hub's shard: waiter lists keyed by
+// operation ID, woken by channel sends.
+type watchShard struct {
+	mu sync.Mutex
+	m  map[string][]chan int
+}
+
+// wakeUnderLock is the deadlock-shaped hub bug: waking waiters while
+// the shard lock is held means a slow (or buggy, unbuffered) receiver
+// stalls every subscribe/notify on the shard.
+func wakeUnderLock(sh *watchShard, id string) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, ch := range sh.m[id] {
+		ch <- 1 // want `channel send inside the sh\.mu critical section`
+	}
+}
+
+// collectThenWake is the sanctioned wake protocol: detach the waiter
+// list under the lock, send after unlock.
+func collectThenWake(sh *watchShard, id string) {
+	sh.mu.Lock()
+	ws := sh.m[id]
+	delete(sh.m, id)
+	sh.mu.Unlock()
+	for _, ch := range ws {
+		ch <- 1
+	}
+}
+
+// noticeRing mirrors the feed ring: a closed-channel broadcast swapped
+// under the lock.
+type noticeRing struct {
+	mu      sync.Mutex
+	changed chan struct{}
+}
+
+// waitUnderRingLock blocks on the broadcast channel while holding the
+// ring lock the appender needs — a deadlock, not a wait.
+func waitUnderRingLock(r *noticeRing) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	<-r.changed // want `channel receive inside the r\.mu critical section`
+}
+
+// swapThenBroadcast is the sanctioned feed wake: swap the channel
+// under the lock, close the old one after unlock.
+func swapThenBroadcast(r *noticeRing) {
+	r.mu.Lock()
+	old := r.changed
+	r.changed = make(chan struct{})
+	r.mu.Unlock()
+	close(old)
+}
+
 // unpolicedMutex guards a type outside the policed set; lockscope does
 // not constrain it.
 type unpoliced struct {

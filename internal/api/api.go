@@ -11,6 +11,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"time"
 
 	"opdaemon/internal/core"
 	"opdaemon/internal/engine"
@@ -24,21 +25,29 @@ const maxBodyBytes = 1 << 20
 type Server struct {
 	engine *engine.Engine
 	mux    *http.ServeMux
+	// maxWait bounds long-poll waits (?wait=true); client-requested
+	// timeouts above it are clamped. See WithMaxWait.
+	maxWait time.Duration
 }
 
 // New builds the API server around an engine.
-func New(e *engine.Engine) *Server {
-	s := &Server{engine: e, mux: http.NewServeMux()}
+func New(e *engine.Engine, opts ...Option) *Server {
+	s := &Server{engine: e, mux: http.NewServeMux(), maxWait: defaultMaxWait}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("GET /v1/health", s.health)
 	s.mux.HandleFunc("POST /v1/operations", s.submit)
 	s.mux.HandleFunc("GET /v1/operations", s.list)
 	s.mux.HandleFunc("GET /v1/operations/{id}", s.get)
 	s.mux.HandleFunc("DELETE /v1/operations/{id}", s.cancel)
+	s.mux.HandleFunc("GET /v1/notices", s.notices)
 	// Method-less fallbacks so a wrong verb on a known path yields a
 	// 405 envelope instead of falling through to the 404 handler.
 	s.mux.HandleFunc("/v1/health", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/v1/operations", methodNotAllowed("GET, POST"))
 	s.mux.HandleFunc("/v1/operations/{id}", methodNotAllowed("GET, DELETE"))
+	s.mux.HandleFunc("/v1/notices", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/", s.notFound)
 	return s
 }
@@ -59,6 +68,8 @@ func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 		"queue_depth":    st.QueueDepth,
 		"queue_capacity": st.QueueCapacity,
 		"store_len":      st.StoreLen,
+		"watch_waiters":  st.WatchWaiters,
+		"last_notice":    st.LastNotice,
 	})
 }
 
@@ -140,7 +151,18 @@ func isJSONArray(body []byte) bool {
 }
 
 func (s *Server) get(w http.ResponseWriter, r *http.Request) {
-	op, err := s.engine.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	wait, timeout, ok := s.waitParams(w, r)
+	if !ok {
+		return
+	}
+	if wait {
+		// Long-poll: block until the operation's state changes, the
+		// timeout expires, or the client disconnects. See watch.go.
+		s.getWait(w, r, id, timeout)
+		return
+	}
+	op, err := s.engine.Get(id)
 	if err != nil {
 		writeEngineError(w, err)
 		return

@@ -73,6 +73,10 @@ type Config struct {
 	// DefaultDeadline bounds execution of kinds registered without
 	// WithDeadline. Zero means unbounded.
 	DefaultDeadline time.Duration
+	// NoticeRingSize bounds the state-transition feed (default 4096).
+	// Once full, new notices overwrite the oldest; a long-poll cursor
+	// that falls off the ring resumes from the oldest retained notice.
+	NoticeRingSize int
 }
 
 // Engine owns the operation lifecycle: it accepts submissions, runs
@@ -100,6 +104,15 @@ type Engine struct {
 	// the submission path, and it is sharded so concurrent cancels and
 	// worker install/retire traffic rarely contend with each other.
 	cancels *cancelRegistry
+
+	// watch is the sharded broadcast hub behind AwaitChange: every
+	// published transition wakes exactly the long-poll waiters
+	// registered for that operation ID. notices is the bounded
+	// transition feed behind Notices/AwaitNotices. Both are fed by
+	// publish, the single fan-out point after a state change lands in
+	// the store.
+	watch   *watchHub
+	notices *noticeRing
 }
 
 // New builds and starts an engine; workers begin draining the queue
@@ -143,6 +156,8 @@ func New(cfg Config) *Engine {
 		runStop:         stop,
 		handlers:        make(map[string]registration),
 		cancels:         newCancelRegistry(0),
+		watch:           newWatchHub(0),
+		notices:         newNoticeRing(cfg.NoticeRingSize),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
@@ -198,6 +213,12 @@ type Stats struct {
 	QueueCapacity int `json:"queue_capacity"`
 	// StoreLen is the number of operations currently retained.
 	StoreLen int `json:"store_len"`
+	// WatchWaiters is the number of long-poll waiters currently
+	// registered in the broadcast hub.
+	WatchWaiters int `json:"watch_waiters"`
+	// LastNotice is the newest sequence number assigned in the notices
+	// feed (0 before the first transition).
+	LastNotice uint64 `json:"last_notice"`
 }
 
 // Stats reports queue and store saturation. QueueDepth counts reserved
@@ -209,6 +230,8 @@ func (e *Engine) Stats() Stats {
 		QueueDepth:    len(e.slots),
 		QueueCapacity: cap(e.slots),
 		StoreLen:      e.store.Len(),
+		WatchWaiters:  e.watch.waiters(),
+		LastNotice:    e.notices.last(),
 	}
 }
 
@@ -371,6 +394,13 @@ func (e *Engine) SubmitBatch(ctx context.Context, items []BatchItem) ([]*core.Op
 		e.queue <- op.ID
 	}
 	e.mu.Unlock()
+	// Record the birth transitions in the feed so a notices watcher
+	// sees new operations appear, not just settle. No hub notify: a
+	// client cannot hold a waiter for an ID it has not been handed yet,
+	// and the submit response already carries the queued snapshot.
+	for _, op := range ops {
+		e.notices.append(op.ID, op.Kind, core.StatusQueued, op.CreatedAt)
+	}
 	return ops, nil
 }
 
@@ -399,6 +429,8 @@ func (e *Engine) List(q ListQuery) ([]*core.Operation, error) {
 // finished in the race window before the cancel landed).
 func (e *Engine) Cancel(id string) (*core.Operation, error) {
 	cancelled, running := false, false
+	var kind string
+	var at time.Time
 	err := e.store.Update(id, func(op *core.Operation) {
 		switch op.Status {
 		case core.StatusQueued:
@@ -407,6 +439,7 @@ func (e *Engine) Cancel(id string) (*core.Operation, error) {
 			op.Transition(core.StatusCancelled, e.clock())
 			op.Error = core.ErrCancelled.Error()
 			cancelled = true
+			kind, at = op.Kind, op.UpdatedAt
 		case core.StatusRunning:
 			// Stamp the request time now — the handler may take a
 			// while to unwind, and CancelledAt records when the abort
@@ -420,6 +453,13 @@ func (e *Engine) Cancel(id string) (*core.Operation, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cancelled {
+		// The queued→cancelled step bypasses transition(), so it
+		// publishes here. The running branch does not: stamping
+		// CancelledAt is not a status change, and the terminal
+		// transition recorded when the handler unwinds publishes then.
+		e.publish(id, kind, core.StatusCancelled, at)
 	}
 	if running {
 		// The registry entry is installed before the queued→running
@@ -596,9 +636,15 @@ func (e *Engine) fail(id string, cause error) {
 // transition atomically moves the operation to next, refusing illegal
 // lifecycle steps so terminal states are never overwritten. It reports
 // whether the step was applied, so callers can tell a recorded
-// transition from one pre-empted by a concurrent cancel.
+// transition from one pre-empted by a concurrent cancel. Every applied
+// transition is published to the watch hub and the notices feed.
 func (e *Engine) transition(id string, next core.Status, result json.RawMessage, cause error) bool {
 	applied := false
+	// Fields the publish needs are captured into locals inside the
+	// callback: Update's contract forbids retaining the clone past the
+	// callback's return.
+	var kind string
+	var at time.Time
 	err := e.store.Update(id, func(op *core.Operation) {
 		// Transition refuses illegal steps and stamps UpdatedAt; it
 		// keeps the request-time CancelledAt stamp Cancel already
@@ -614,11 +660,34 @@ func (e *Engine) transition(id string, next core.Status, result json.RawMessage,
 		if cause != nil {
 			op.Error = cause.Error()
 		}
+		kind, at = op.Kind, op.UpdatedAt
 	})
 	if err != nil {
 		// A failed write on a pluggable store would otherwise strand
 		// the op in its previous state with no trace.
 		log.Printf("engine: recording %s transition for %s: %v", next, id, err)
 	}
+	if applied {
+		e.publish(id, kind, next, at)
+	}
 	return applied
+}
+
+// publish fans an applied state change out to the read path: it
+// appends a notice to the feed and wakes the operation's long-poll
+// waiters with the freshly published snapshot. It runs after the store
+// write commits, so a woken waiter re-reading the store can only see
+// this state or a newer one — never the one it was waiting out. The
+// snapshot is re-read rather than retained from the Update callback
+// (whose contract forbids retention); in the rare race where a newer
+// transition or a TTL eviction lands in between, waiters get the newer
+// snapshot or a nil that makes them fall back to a point Get —
+// freshest-wins either way.
+func (e *Engine) publish(id, kind string, status core.Status, at time.Time) {
+	e.notices.append(id, kind, status, at)
+	snap, err := e.store.Get(id)
+	if err != nil {
+		snap = nil
+	}
+	e.watch.notify(id, snap)
 }
