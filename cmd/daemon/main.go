@@ -17,6 +17,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,6 +41,29 @@ type daemonConfig struct {
 	defaultDeadline time.Duration
 	noticeRing      int
 	maxWait         time.Duration
+	queuePolicy     string
+	bandWeights     string
+	drrQuantum      int
+	promoteAfter    time.Duration
+	shedThreshold   float64
+}
+
+// parseBandWeights parses the -band-weights flag value: three comma-
+// separated positive integers for the high, normal, and low bands.
+func parseBandWeights(raw string) ([3]int, error) {
+	var w [3]int
+	parts := strings.Split(raw, ",")
+	if len(parts) != 3 {
+		return w, fmt.Errorf("need 3 comma-separated integers, got %d", len(parts))
+	}
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return w, fmt.Errorf("weight %d must be a positive integer, got %q", i, p)
+		}
+		w[i] = n
+	}
+	return w, nil
 }
 
 func main() {
@@ -54,6 +79,11 @@ func main() {
 	flag.DurationVar(&cfg.defaultDeadline, "default-deadline", 0, "execution deadline for kinds registered without their own; 0 means unbounded")
 	flag.IntVar(&cfg.noticeRing, "notice-ring", 4096, "state-transition notices retained for /v1/notices; older ones fall off the ring")
 	flag.DurationVar(&cfg.maxWait, "max-wait", 60*time.Second, "upper bound on ?wait=true long-poll timeouts; longer client requests are clamped")
+	flag.StringVar(&cfg.queuePolicy, "queue-policy", engine.PolicyStrict, "priority band policy: strict (drain high first) or weighted (proportional shares)")
+	flag.StringVar(&cfg.bandWeights, "band-weights", "8,4,1", "weighted-policy dispatch shares for the high,normal,low bands")
+	flag.IntVar(&cfg.drrQuantum, "drr-quantum", 1, "operations served per client per round-robin turn within a band")
+	flag.DurationVar(&cfg.promoteAfter, "promote-after", 5*time.Second, "age at which a starved lower-band operation is promoted; <0 disables aging")
+	flag.Float64Var(&cfg.shedThreshold, "shed-threshold", 0, "shed submissions with 429 once queue depth reaches this fraction of capacity (0,1); 0 disables shedding")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -64,6 +94,18 @@ func main() {
 // run wires the engine, store, and HTTP server together and blocks
 // until a signal triggers the drain sequence.
 func run(cfg daemonConfig) error {
+	if cfg.queuePolicy != engine.PolicyStrict && cfg.queuePolicy != engine.PolicyWeighted {
+		return fmt.Errorf("unknown -queue-policy %q (want %s or %s)", cfg.queuePolicy, engine.PolicyStrict, engine.PolicyWeighted)
+	}
+	weights, err := parseBandWeights(cfg.bandWeights)
+	if err != nil {
+		return fmt.Errorf("parsing -band-weights: %w", err)
+	}
+	if cfg.shedThreshold < 0 || cfg.shedThreshold >= 1 {
+		if cfg.shedThreshold != 0 {
+			return fmt.Errorf("-shed-threshold must be in (0,1) or 0 to disable, got %g", cfg.shedThreshold)
+		}
+	}
 	var store engine.Store
 	if cfg.storeShards <= 1 {
 		store = engine.NewMemStore()
@@ -78,6 +120,11 @@ func run(cfg daemonConfig) error {
 		GCInterval:      cfg.gcInterval,
 		DefaultDeadline: cfg.defaultDeadline,
 		NoticeRingSize:  cfg.noticeRing,
+		QueuePolicy:     cfg.queuePolicy,
+		BandWeights:     weights,
+		DRRQuantum:      cfg.drrQuantum,
+		PromoteAfter:    cfg.promoteAfter,
+		ShedThreshold:   cfg.shedThreshold,
 	})
 	registerBuiltins(eng)
 
@@ -131,8 +178,8 @@ func run(cfg daemonConfig) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("daemon: listening on http://%s (workers=%d queue=%d shards=%d ttl=%s)",
-			cfg.addr, cfg.workers, cfg.queueDepth, cfg.storeShards, cfg.opTTL)
+		log.Printf("daemon: listening on http://%s (workers=%d queue=%d shards=%d ttl=%s policy=%s shed=%g)",
+			cfg.addr, cfg.workers, cfg.queueDepth, cfg.storeShards, cfg.opTTL, cfg.queuePolicy, cfg.shedThreshold)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return

@@ -30,6 +30,21 @@
 // client); -observe watch replaces the loop with ?wait=true
 // long-polls. Run both against the same daemon to measure what the
 // watch path saves — that comparison is what BENCH_7.json records.
+//
+// With -clients N, workers identify themselves to the daemon via
+// X-Client-Id so the scheduler's per-client fair queueing applies, and
+// the report breaks latency down per client. -greedy-frac F marks that
+// fraction of workers as one shared "greedy" client that submits
+// without observing (fire-and-forget flood); the remaining workers are
+// the victims, spread across the other N-1 client IDs. The per-client
+// to-terminal percentiles of the victims against the greedy flood are
+// the fairness metric BENCH_8.json records.
+//
+// 429 responses (the daemon shedding load at its admission threshold)
+// are counted separately from errors: the report shows the shed count
+// and a histogram of the Retry-After hints received, and a run that
+// was fully shed still exits 0 — being told to back off is the daemon
+// working, not the bench failing.
 package main
 
 import (
@@ -64,11 +79,28 @@ func main() {
 		observe     = flag.String("observe", "", "follow each accepted operation to its terminal state: 'poll' loops plain GETs at -poll-interval, 'watch' uses ?wait=true long-polls; empty disables")
 		pollInt     = flag.Duration("poll-interval", 25*time.Millisecond, "delay between GETs in -observe poll mode")
 		observeTO   = flag.Duration("observe-timeout", 30*time.Second, "max time to follow one operation to terminal (also sent as the long-poll timeout in watch mode)")
+		clients     = flag.Int("clients", 0, "number of distinct X-Client-Id values to spread workers across (0 sends no header)")
+		greedyFrac  = flag.Float64("greedy-frac", 0, "fraction (0..1) of workers assigned to one shared fire-and-forget 'greedy' client; requires -clients >= 2")
 		jsonPath    = flag.String("json", "", "also write the report as JSON to this path (schema in docs/loadgen.md), for the BENCH_*.json perf trajectory")
 	)
 	flag.Parse()
 
-	cfg, err := newRunConfig(*addr, *concurrency, *duration, *batch, *kinds, *params, *timeout, *cancelFrac, *listEvery, *observe, *pollInt, *observeTO)
+	cfg, err := newRunConfig(runFlags{
+		addr:           *addr,
+		concurrency:    *concurrency,
+		duration:       *duration,
+		batch:          *batch,
+		kinds:          *kinds,
+		params:         *params,
+		timeout:        *timeout,
+		cancelFrac:     *cancelFrac,
+		listEvery:      *listEvery,
+		observe:        *observe,
+		pollInterval:   *pollInt,
+		observeTimeout: *observeTO,
+		clients:        *clients,
+		greedyFrac:     *greedyFrac,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(2)
@@ -83,10 +115,32 @@ func main() {
 	}
 	// List and observe failures gate the exit status like transport
 	// errors do: a scripted bench run must not record a broken read
-	// path as green.
-	if report.transportErrs > 0 || report.listErrs > 0 || report.observeErrs > 0 || report.accepted == 0 {
+	// path as green. Shed (429) responses do not: a daemon refusing
+	// load at its admission threshold is behaving, so a run that got
+	// nothing accepted but was told to back off still exits 0.
+	if report.transportErrs > 0 || report.listErrs > 0 || report.observeErrs > 0 ||
+		(report.accepted == 0 && report.sheds == 0) {
 		os.Exit(1)
 	}
+}
+
+// runFlags carries the raw flag values into newRunConfig; a struct so
+// call sites name what they set instead of threading 14 positionals.
+type runFlags struct {
+	addr           string
+	concurrency    int
+	duration       time.Duration
+	batch          int
+	kinds          string
+	params         string
+	timeout        time.Duration
+	cancelFrac     float64
+	listEvery      int
+	observe        string
+	pollInterval   time.Duration
+	observeTimeout time.Duration
+	clients        int
+	greedyFrac     float64
 }
 
 // runConfig is a validated loadgen run: where to send load, how much,
@@ -106,60 +160,111 @@ type runConfig struct {
 	observe        string
 	pollInterval   time.Duration
 	observeTimeout time.Duration
+	// clients is the number of distinct X-Client-Id values; 0 sends no
+	// header. greedyWorkers is how many workers (from index 0) share
+	// the "greedy" client, derived from -greedy-frac.
+	clients       int
+	greedyFrac    float64
+	greedyWorkers int
+}
+
+// greedyClient is the client ID shared by the fire-and-forget workers
+// of an adversarial mix.
+const greedyClient = "greedy"
+
+// clientFor assigns worker i its client ID: the first greedyWorkers
+// workers share the greedy client, the rest spread round-robin across
+// the remaining IDs c1..cK.
+func (cfg *runConfig) clientFor(i int) string {
+	if cfg.clients <= 0 {
+		return ""
+	}
+	if i < cfg.greedyWorkers {
+		return greedyClient
+	}
+	rest := cfg.clients
+	if cfg.greedyWorkers > 0 {
+		rest--
+	}
+	return "c" + strconv.Itoa((i-cfg.greedyWorkers)%rest+1)
 }
 
 // newRunConfig validates flags into a runConfig, rejecting values that
 // would make the run meaningless (zero concurrency, empty mix, ...).
-func newRunConfig(addr string, concurrency int, duration time.Duration, batch int, kinds, params string, timeout time.Duration, cancelFrac float64, listEvery int, observe string, pollInterval, observeTimeout time.Duration) (*runConfig, error) {
-	if concurrency < 1 {
-		return nil, fmt.Errorf("concurrency must be >= 1, got %d", concurrency)
+func newRunConfig(f runFlags) (*runConfig, error) {
+	if f.concurrency < 1 {
+		return nil, fmt.Errorf("concurrency must be >= 1, got %d", f.concurrency)
 	}
-	if batch < 1 {
-		return nil, fmt.Errorf("batch must be >= 1, got %d", batch)
+	if f.batch < 1 {
+		return nil, fmt.Errorf("batch must be >= 1, got %d", f.batch)
 	}
-	if duration <= 0 {
-		return nil, fmt.Errorf("duration must be positive, got %s", duration)
+	if f.duration <= 0 {
+		return nil, fmt.Errorf("duration must be positive, got %s", f.duration)
 	}
-	if cancelFrac < 0 || cancelFrac > 1 {
-		return nil, fmt.Errorf("cancel-frac must be within [0, 1], got %g", cancelFrac)
+	if f.cancelFrac < 0 || f.cancelFrac > 1 {
+		return nil, fmt.Errorf("cancel-frac must be within [0, 1], got %g", f.cancelFrac)
 	}
-	if listEvery < 0 {
-		return nil, fmt.Errorf("list-every must be >= 0, got %d", listEvery)
+	if f.listEvery < 0 {
+		return nil, fmt.Errorf("list-every must be >= 0, got %d", f.listEvery)
 	}
-	switch observe {
+	switch f.observe {
 	case "", "poll", "watch":
 	default:
-		return nil, fmt.Errorf("observe must be empty, poll, or watch, got %q", observe)
+		return nil, fmt.Errorf("observe must be empty, poll, or watch, got %q", f.observe)
 	}
-	if observe == "poll" && pollInterval <= 0 {
-		return nil, fmt.Errorf("poll-interval must be positive in poll mode, got %s", pollInterval)
+	if f.observe == "poll" && f.pollInterval <= 0 {
+		return nil, fmt.Errorf("poll-interval must be positive in poll mode, got %s", f.pollInterval)
 	}
-	if observe != "" && observeTimeout <= 0 {
-		return nil, fmt.Errorf("observe-timeout must be positive, got %s", observeTimeout)
+	if f.observe != "" && f.observeTimeout <= 0 {
+		return nil, fmt.Errorf("observe-timeout must be positive, got %s", f.observeTimeout)
 	}
-	mix, err := parseKindMix(kinds)
+	if f.clients < 0 {
+		return nil, fmt.Errorf("clients must be >= 0, got %d", f.clients)
+	}
+	if f.greedyFrac < 0 || f.greedyFrac > 1 {
+		return nil, fmt.Errorf("greedy-frac must be within [0, 1], got %g", f.greedyFrac)
+	}
+	greedyWorkers := 0
+	if f.greedyFrac > 0 {
+		// A greedy mix needs at least one victim client to contrast
+		// against, and at least one worker on each side.
+		if f.clients < 2 {
+			return nil, fmt.Errorf("greedy-frac needs -clients >= 2, got %d", f.clients)
+		}
+		greedyWorkers = int(f.greedyFrac*float64(f.concurrency) + 0.5)
+		if greedyWorkers < 1 {
+			greedyWorkers = 1
+		}
+		if greedyWorkers >= f.concurrency {
+			return nil, fmt.Errorf("greedy-frac %g leaves no victim workers at concurrency %d", f.greedyFrac, f.concurrency)
+		}
+	}
+	mix, err := parseKindMix(f.kinds)
 	if err != nil {
 		return nil, err
 	}
 	var p map[string]any
-	if params != "" {
-		if err := json.Unmarshal([]byte(params), &p); err != nil {
+	if f.params != "" {
+		if err := json.Unmarshal([]byte(f.params), &p); err != nil {
 			return nil, fmt.Errorf("parsing -params: %w", err)
 		}
 	}
 	return &runConfig{
-		url:            "http://" + addr + "/v1/operations",
-		concurrency:    concurrency,
-		duration:       duration,
-		batch:          batch,
+		url:            "http://" + f.addr + "/v1/operations",
+		concurrency:    f.concurrency,
+		duration:       f.duration,
+		batch:          f.batch,
 		mix:            mix,
 		params:         p,
-		timeout:        timeout,
-		cancelFrac:     cancelFrac,
-		listEvery:      listEvery,
-		observe:        observe,
-		pollInterval:   pollInterval,
-		observeTimeout: observeTimeout,
+		timeout:        f.timeout,
+		cancelFrac:     f.cancelFrac,
+		listEvery:      f.listEvery,
+		observe:        f.observe,
+		pollInterval:   f.pollInterval,
+		observeTimeout: f.observeTimeout,
+		clients:        f.clients,
+		greedyFrac:     f.greedyFrac,
+		greedyWorkers:  greedyWorkers,
 	}, nil
 }
 
@@ -236,6 +341,9 @@ type submitRequest struct {
 // workerStats accumulates one worker's measurements; workers never
 // share stats, so the hot loop takes no locks.
 type workerStats struct {
+	// client is the X-Client-Id this worker submits under ("" for
+	// none); fixed at spawn, so per-worker stats merge per-client.
+	client          string
 	latencies       []time.Duration
 	listLatencies   []time.Duration
 	requests        int64
@@ -244,6 +352,8 @@ type workerStats struct {
 	listErrs        int64
 	codes           map[int]int64
 	transportErrs   int64
+	sheds           int64
+	retryAfter      map[int]int64
 	cancelRequested int64
 	cancelled       int64
 	cancelConflicts int64
@@ -256,17 +366,34 @@ type workerStats struct {
 	observeLatencies []time.Duration
 }
 
-// report is the merged result of a run.
-type report struct {
-	elapsed          time.Duration
+// clientReport is one client's slice of the merged run: enough to
+// compute the per-client fairness percentiles the adversarial mixes
+// exist to measure.
+type clientReport struct {
 	requests         int64
 	accepted         int64
+	sheds            int64
 	latencies        []time.Duration
-	listRequests     int64
-	listErrs         int64
-	listLatencies    []time.Duration
-	codes            map[int]int64
-	transportErrs    int64
+	observeLatencies []time.Duration
+}
+
+// report is the merged result of a run.
+type report struct {
+	elapsed       time.Duration
+	requests      int64
+	accepted      int64
+	latencies     []time.Duration
+	listRequests  int64
+	listErrs      int64
+	listLatencies []time.Duration
+	codes         map[int]int64
+	transportErrs int64
+	// sheds counts 429 responses (daemon admission control refusing
+	// load); retryAfter histograms the Retry-After hints (seconds)
+	// those responses carried, -1 binning a missing/unparsable header.
+	sheds            int64
+	retryAfter       map[int]int64
+	perClient        map[string]*clientReport
 	cancelRequested  int64
 	cancelled        int64
 	cancelConflicts  int64
@@ -308,7 +435,11 @@ func (cfg *runConfig) run(seed int64) *report {
 	start := time.Now()
 	for i := 0; i < cfg.concurrency; i++ {
 		wg.Add(1)
-		stats[i] = &workerStats{codes: make(map[int]int64)}
+		stats[i] = &workerStats{
+			client:     cfg.clientFor(i),
+			codes:      make(map[int]int64),
+			retryAfter: make(map[int]int64),
+		}
 		go func(ws *workerStats, workerSeed int64) {
 			defer wg.Done()
 			cfg.worker(client, observeClient, ws, deadline, workerSeed)
@@ -317,13 +448,19 @@ func (cfg *runConfig) run(seed int64) *report {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	merged := &report{elapsed: elapsed, codes: make(map[int]int64)}
+	merged := &report{
+		elapsed:    elapsed,
+		codes:      make(map[int]int64),
+		retryAfter: make(map[int]int64),
+		perClient:  make(map[string]*clientReport),
+	}
 	for _, ws := range stats {
 		merged.requests += ws.requests
 		merged.accepted += ws.accepted
 		merged.listRequests += ws.listRequests
 		merged.listErrs += ws.listErrs
 		merged.transportErrs += ws.transportErrs
+		merged.sheds += ws.sheds
 		merged.cancelRequested += ws.cancelRequested
 		merged.cancelled += ws.cancelled
 		merged.cancelConflicts += ws.cancelConflicts
@@ -337,10 +474,29 @@ func (cfg *runConfig) run(seed int64) *report {
 		for code, n := range ws.codes {
 			merged.codes[code] += n
 		}
+		for secs, n := range ws.retryAfter {
+			merged.retryAfter[secs] += n
+		}
+		if ws.client != "" {
+			cr := merged.perClient[ws.client]
+			if cr == nil {
+				cr = &clientReport{}
+				merged.perClient[ws.client] = cr
+			}
+			cr.requests += ws.requests
+			cr.accepted += ws.accepted
+			cr.sheds += ws.sheds
+			cr.latencies = append(cr.latencies, ws.latencies...)
+			cr.observeLatencies = append(cr.observeLatencies, ws.observeLatencies...)
+		}
 	}
 	sort.Slice(merged.latencies, func(i, j int) bool { return merged.latencies[i] < merged.latencies[j] })
 	sort.Slice(merged.listLatencies, func(i, j int) bool { return merged.listLatencies[i] < merged.listLatencies[j] })
 	sort.Slice(merged.observeLatencies, func(i, j int) bool { return merged.observeLatencies[i] < merged.observeLatencies[j] })
+	for _, cr := range merged.perClient {
+		sort.Slice(cr.latencies, func(i, j int) bool { return cr.latencies[i] < cr.latencies[j] })
+		sort.Slice(cr.observeLatencies, func(i, j int) bool { return cr.observeLatencies[i] < cr.observeLatencies[j] })
+	}
 	return merged
 }
 
@@ -349,6 +505,10 @@ func (cfg *runConfig) run(seed int64) *report {
 func (cfg *runConfig) worker(client, observeClient *http.Client, ws *workerStats, deadline time.Time, seed int64) {
 	r := rand.New(rand.NewSource(seed))
 	submits := 0
+	// The greedy client floods: it never follows its operations, so
+	// its submission rate is bounded by the daemon, not by observe
+	// round trips. Victims observe and measure to-terminal latency.
+	observing := cfg.observe != "" && ws.client != greedyClient
 	for time.Now().Before(deadline) {
 		body, err := cfg.buildBody(r)
 		if err != nil {
@@ -358,8 +518,17 @@ func (cfg *runConfig) worker(client, observeClient *http.Client, ws *workerStats
 			ws.transportErrs++
 			return
 		}
+		req, err := http.NewRequest(http.MethodPost, cfg.url, bytes.NewReader(body))
+		if err != nil {
+			ws.transportErrs++
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if ws.client != "" {
+			req.Header.Set("X-Client-Id", ws.client)
+		}
 		begin := time.Now()
-		resp, err := client.Post(cfg.url, "application/json", bytes.NewReader(body))
+		resp, err := client.Do(req)
 		took := time.Since(begin)
 		ws.requests++
 		if err != nil {
@@ -369,17 +538,19 @@ func (cfg *runConfig) worker(client, observeClient *http.Client, ws *workerStats
 		// The reply body is only needed when cancellation or observe
 		// must learn the accepted IDs; otherwise drain it unread to
 		// keep the submission hot loop allocation-light.
-		needIDs := cfg.cancelFrac > 0 || cfg.observe != ""
+		needIDs := cfg.cancelFrac > 0 || observing
 		var replyBody []byte
 		if needIDs && resp.StatusCode == http.StatusAccepted {
 			replyBody, _ = io.ReadAll(resp.Body)
 		} else {
 			io.Copy(io.Discard, resp.Body)
 		}
+		retryHeader := resp.Header.Get("Retry-After")
 		resp.Body.Close()
 		ws.latencies = append(ws.latencies, took)
 		ws.codes[resp.StatusCode]++
-		if resp.StatusCode == http.StatusAccepted {
+		switch resp.StatusCode {
+		case http.StatusAccepted:
 			// Batch validation is atomic, so a 202 means every item
 			// was accepted.
 			ws.accepted += int64(cfg.batch)
@@ -392,12 +563,22 @@ func (cfg *runConfig) worker(client, observeClient *http.Client, ws *workerStats
 				if cfg.cancelFrac > 0 {
 					cfg.cancelSome(client, ws, r, ids)
 				}
-				if cfg.observe != "" {
+				if observing {
 					for _, id := range ids {
 						cfg.observeOne(observeClient, ws, id, begin)
 					}
 				}
 			}
+		case http.StatusTooManyRequests:
+			// The daemon shed this submission at its admission
+			// threshold; count it and the Retry-After hint instead of
+			// folding it into generic errors.
+			ws.sheds++
+			secs, err := strconv.Atoi(retryHeader)
+			if err != nil {
+				secs = -1
+			}
+			ws.retryAfter[secs]++
 		}
 		if submits++; cfg.listEvery > 0 && submits%cfg.listEvery == 0 {
 			cfg.listOnce(client, ws)
@@ -616,6 +797,29 @@ func (rep *report) format(cfg *runConfig) string {
 	for _, code := range codes {
 		fmt.Fprintf(&b, "http %d:   %d\n", code, rep.codes[code])
 	}
+	if rep.sheds > 0 {
+		perOp := float64(rep.sheds) / float64(rep.requests)
+		fmt.Fprintf(&b, "sheds:      %d (429, %.3f shed/req), retry-after: %s\n",
+			rep.sheds, perOp, formatRetryHistogram(rep.retryAfter))
+	}
+	if len(rep.perClient) > 0 {
+		fmt.Fprintf(&b, "per-client:\n")
+		for _, key := range sortedClientKeys(rep.perClient) {
+			cr := rep.perClient[key]
+			fmt.Fprintf(&b, "  %-8s ops=%d sheds=%d submit p50=%s p90=%s p99=%s",
+				key, cr.accepted, cr.sheds,
+				percentile(cr.latencies, 50).Round(time.Microsecond),
+				percentile(cr.latencies, 90).Round(time.Microsecond),
+				percentile(cr.latencies, 99).Round(time.Microsecond))
+			if len(cr.observeLatencies) > 0 {
+				fmt.Fprintf(&b, " to-terminal p50=%s p90=%s p99=%s",
+					percentile(cr.observeLatencies, 50).Round(time.Microsecond),
+					percentile(cr.observeLatencies, 90).Round(time.Microsecond),
+					percentile(cr.observeLatencies, 99).Round(time.Microsecond))
+			}
+			b.WriteByte('\n')
+		}
+	}
 	if rep.cancelRequested > 0 || cfg.cancelFrac > 0 {
 		fmt.Fprintf(&b, "cancels:    %d requested, %d cancelled (202), %d conflict (409)\n",
 			rep.cancelRequested, rep.cancelled, rep.cancelConflicts)
@@ -645,6 +849,46 @@ func (rep *report) format(cfg *runConfig) string {
 		fmt.Fprintf(&b, "transport errors: %d\n", rep.transportErrs)
 	}
 	return b.String()
+}
+
+// sortedClientKeys orders the per-client breakdown: greedy first (it
+// is the aggressor the rest are measured against), then the victims in
+// name order.
+func sortedClientKeys(m map[string]*clientReport) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if (keys[i] == greedyClient) != (keys[j] == greedyClient) {
+			return keys[i] == greedyClient
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// formatRetryHistogram renders the Retry-After histogram as
+// "1s×42 2s×3"; the -1 bin (missing or unparsable header) renders as
+// "none×N" so a daemon that sheds without a hint is visible.
+func formatRetryHistogram(h map[int]int64) string {
+	if len(h) == 0 {
+		return "none"
+	}
+	secs := make([]int, 0, len(h))
+	for s := range h {
+		secs = append(secs, s)
+	}
+	sort.Ints(secs)
+	parts := make([]string, 0, len(secs))
+	for _, s := range secs {
+		label := strconv.Itoa(s) + "s"
+		if s < 0 {
+			label = "none"
+		}
+		parts = append(parts, fmt.Sprintf("%s×%d", label, h[s]))
+	}
+	return strings.Join(parts, " ")
 }
 
 // jsonPercentiles is the latency block of the JSON report, in
@@ -687,6 +931,8 @@ type jsonReport struct {
 		Observe         string  `json:"observe,omitempty"`
 		PollIntervalMs  float64 `json:"poll_interval_ms,omitempty"`
 		ObserveTimeoutS float64 `json:"observe_timeout_seconds,omitempty"`
+		Clients         int     `json:"clients,omitempty"`
+		GreedyFrac      float64 `json:"greedy_frac,omitempty"`
 	} `json:"config"`
 	ElapsedSeconds      float64          `json:"elapsed_seconds"`
 	Requests            int64            `json:"requests"`
@@ -707,7 +953,22 @@ type jsonReport struct {
 	GetsPerOp           float64          `json:"gets_per_op,omitempty"`
 	TimeToTerminal      *jsonPercentiles `json:"time_to_terminal,omitempty"`
 	ObserveErrors       int64            `json:"observe_errors,omitempty"`
+	Sheds               int64            `json:"sheds,omitempty"`
+	RetryAfterHistogram map[string]int64 `json:"retry_after_histogram,omitempty"`
+	PerClient           []jsonClient     `json:"per_client,omitempty"`
 	TransportErrors     int64            `json:"transport_errors"`
+}
+
+// jsonClient is one client's row of the fairness breakdown; the
+// "retry_after_histogram" key mirrors formatRetryHistogram's "none"
+// bin as the string "none".
+type jsonClient struct {
+	Client         string           `json:"client"`
+	Requests       int64            `json:"requests"`
+	Accepted       int64            `json:"accepted"`
+	Sheds          int64            `json:"sheds,omitempty"`
+	SubmitLatency  jsonPercentiles  `json:"submit_latency"`
+	TimeToTerminal *jsonPercentiles `json:"time_to_terminal,omitempty"`
 }
 
 // writeJSON renders the run as indented JSON at path.
@@ -728,6 +989,8 @@ func (rep *report) writeJSON(path string, cfg *runConfig) error {
 		}
 		jr.Config.ObserveTimeoutS = cfg.observeTimeout.Seconds()
 	}
+	jr.Config.Clients = cfg.clients
+	jr.Config.GreedyFrac = cfg.greedyFrac
 	secs := rep.elapsed.Seconds()
 	jr.ElapsedSeconds = secs
 	jr.Requests = rep.requests
@@ -758,6 +1021,32 @@ func (rep *report) writeJSON(path string, cfg *runConfig) error {
 		op := toJSONPercentiles(rep.observeLatencies)
 		jr.TimeToTerminal = &op
 		jr.ObserveErrors = rep.observeErrs
+	}
+	if rep.sheds > 0 {
+		jr.Sheds = rep.sheds
+		jr.RetryAfterHistogram = make(map[string]int64, len(rep.retryAfter))
+		for secs, n := range rep.retryAfter {
+			key := strconv.Itoa(secs)
+			if secs < 0 {
+				key = "none"
+			}
+			jr.RetryAfterHistogram[key] = n
+		}
+	}
+	for _, key := range sortedClientKeys(rep.perClient) {
+		cr := rep.perClient[key]
+		jc := jsonClient{
+			Client:        key,
+			Requests:      cr.requests,
+			Accepted:      cr.accepted,
+			Sheds:         cr.sheds,
+			SubmitLatency: toJSONPercentiles(cr.latencies),
+		}
+		if len(cr.observeLatencies) > 0 {
+			tt := toJSONPercentiles(cr.observeLatencies)
+			jc.TimeToTerminal = &tt
+		}
+		jr.PerClient = append(jr.PerClient, jc)
 	}
 	jr.TransportErrors = rep.transportErrs
 	out, err := json.MarshalIndent(&jr, "", "  ")

@@ -129,7 +129,7 @@ func TestRunAgainstStubDaemon(t *testing.T) {
 	defer srv.Close()
 
 	addr := strings.TrimPrefix(srv.URL, "http://")
-	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 4, "noop=1", "", time.Second, 0, 0, "", 25*time.Millisecond, 30*time.Second)
+	cfg, err := newRunConfig(runFlags{addr: addr, concurrency: 2, duration: 50 * time.Millisecond, batch: 4, kinds: "noop=1", timeout: time.Second, pollInterval: 25 * time.Millisecond, observeTimeout: 30 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,34 +152,82 @@ func TestRunAgainstStubDaemon(t *testing.T) {
 }
 
 func TestNewRunConfigValidation(t *testing.T) {
-	for name, tc := range map[string]struct {
-		concurrency    int
-		batch          int
-		duration       time.Duration
-		kinds          string
-		params         string
-		cancelFrac     float64
-		listEvery      int
-		observe        string
-		pollInterval   time.Duration
-		observeTimeout time.Duration
-	}{
-		"zero concurrency":       {0, 1, time.Second, "noop=1", "", 0, 0, "", time.Millisecond, time.Second},
-		"zero batch":             {1, 0, time.Second, "noop=1", "", 0, 0, "", time.Millisecond, time.Second},
-		"zero duration":          {1, 1, 0, "noop=1", "", 0, 0, "", time.Millisecond, time.Second},
-		"bad mix":                {1, 1, time.Second, "noop=zero", "", 0, 0, "", time.Millisecond, time.Second},
-		"bad params":             {1, 1, time.Second, "noop=1", "{not json", 0, 0, "", time.Millisecond, time.Second},
-		"negative cancel frac":   {1, 1, time.Second, "noop=1", "", -0.1, 0, "", time.Millisecond, time.Second},
-		"cancel frac over one":   {1, 1, time.Second, "noop=1", "", 1.5, 0, "", time.Millisecond, time.Second},
-		"negative list every":    {1, 1, time.Second, "noop=1", "", 0, -1, "", time.Millisecond, time.Second},
-		"unknown observe mode":   {1, 1, time.Second, "noop=1", "", 0, 0, "longpoll", time.Millisecond, time.Second},
-		"zero poll interval":     {1, 1, time.Second, "noop=1", "", 0, 0, "poll", 0, time.Second},
-		"zero observe timeout":   {1, 1, time.Second, "noop=1", "", 0, 0, "watch", time.Millisecond, 0},
-		"uppercase observe mode": {1, 1, time.Second, "noop=1", "", 0, 0, "Watch", time.Millisecond, time.Second},
+	// valid is a baseline every case below breaks in exactly one way.
+	valid := runFlags{
+		addr: "x", concurrency: 1, duration: time.Second, batch: 1,
+		kinds: "noop=1", timeout: time.Second,
+		pollInterval: time.Millisecond, observeTimeout: time.Second,
+	}
+	for name, mutate := range map[string]func(*runFlags){
+		"zero concurrency":       func(f *runFlags) { f.concurrency = 0 },
+		"zero batch":             func(f *runFlags) { f.batch = 0 },
+		"zero duration":          func(f *runFlags) { f.duration = 0 },
+		"bad mix":                func(f *runFlags) { f.kinds = "noop=zero" },
+		"bad params":             func(f *runFlags) { f.params = "{not json" },
+		"negative cancel frac":   func(f *runFlags) { f.cancelFrac = -0.1 },
+		"cancel frac over one":   func(f *runFlags) { f.cancelFrac = 1.5 },
+		"negative list every":    func(f *runFlags) { f.listEvery = -1 },
+		"unknown observe mode":   func(f *runFlags) { f.observe = "longpoll" },
+		"zero poll interval":     func(f *runFlags) { f.observe = "poll"; f.pollInterval = 0 },
+		"zero observe timeout":   func(f *runFlags) { f.observe = "watch"; f.observeTimeout = 0 },
+		"uppercase observe mode": func(f *runFlags) { f.observe = "Watch" },
+		"negative clients":       func(f *runFlags) { f.clients = -1 },
+		"greedy frac over one":   func(f *runFlags) { f.clients = 4; f.greedyFrac = 1.5 },
+		"greedy without clients": func(f *runFlags) { f.greedyFrac = 0.5 },
+		"greedy one client":      func(f *runFlags) { f.clients = 1; f.greedyFrac = 0.5 },
+		"greedy eats all workers": func(f *runFlags) {
+			f.concurrency = 2
+			f.clients = 2
+			f.greedyFrac = 1.0
+		},
 	} {
-		if _, err := newRunConfig("x", tc.concurrency, tc.duration, tc.batch, tc.kinds, tc.params, time.Second, tc.cancelFrac, tc.listEvery, tc.observe, tc.pollInterval, tc.observeTimeout); err == nil {
+		f := valid
+		mutate(&f)
+		if _, err := newRunConfig(f); err == nil {
 			t.Errorf("%s: newRunConfig accepted invalid input", name)
 		}
+	}
+	if _, err := newRunConfig(valid); err != nil {
+		t.Fatalf("baseline flags rejected: %v", err)
+	}
+}
+
+// TestClientFor pins the worker→client assignment: greedy workers
+// first, victims spread round-robin over the remaining IDs.
+func TestClientFor(t *testing.T) {
+	cfg, err := newRunConfig(runFlags{
+		addr: "x", concurrency: 8, duration: time.Second, batch: 1,
+		kinds: "noop=1", timeout: time.Second,
+		pollInterval: time.Millisecond, observeTimeout: time.Second,
+		clients: 3, greedyFrac: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.greedyWorkers != 4 {
+		t.Fatalf("greedyWorkers = %d, want 4 (half of 8)", cfg.greedyWorkers)
+	}
+	got := make([]string, 8)
+	for i := range got {
+		got[i] = cfg.clientFor(i)
+	}
+	want := []string{"greedy", "greedy", "greedy", "greedy", "c1", "c2", "c1", "c2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("clientFor(%d) = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+
+	noClients, err := newRunConfig(runFlags{
+		addr: "x", concurrency: 2, duration: time.Second, batch: 1,
+		kinds: "noop=1", timeout: time.Second,
+		pollInterval: time.Millisecond, observeTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := noClients.clientFor(0); id != "" {
+		t.Errorf("clientFor with -clients 0 = %q, want empty", id)
 	}
 }
 
@@ -232,7 +280,7 @@ func TestRunWithListEvery(t *testing.T) {
 	defer srv.Close()
 
 	addr := strings.TrimPrefix(srv.URL, "http://")
-	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 1, "noop=1", "", time.Second, 0, 3, "", 25*time.Millisecond, 30*time.Second)
+	cfg, err := newRunConfig(runFlags{addr: addr, concurrency: 2, duration: 50 * time.Millisecond, batch: 1, kinds: "noop=1", timeout: time.Second, listEvery: 3, pollInterval: 25 * time.Millisecond, observeTimeout: 30 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +349,7 @@ func TestRunWithObserve(t *testing.T) {
 			defer srv.Close()
 
 			addr := strings.TrimPrefix(srv.URL, "http://")
-			cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 1, "noop=1", "", time.Second, 0, 0, mode, time.Millisecond, 5*time.Second)
+			cfg, err := newRunConfig(runFlags{addr: addr, concurrency: 2, duration: 50 * time.Millisecond, batch: 1, kinds: "noop=1", timeout: time.Second, observe: mode, pollInterval: time.Millisecond, observeTimeout: 5 * time.Second})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -332,6 +380,153 @@ func TestRunWithObserve(t *testing.T) {
 				t.Errorf("report missing observe lines:\n%s", out)
 			}
 		})
+	}
+}
+
+// TestRunCountsSheds drives a stub daemon that sheds every other
+// submission with 429 + Retry-After and checks sheds land in their own
+// counters — with the hint histogrammed — rather than in the error
+// tallies.
+func TestRunCountsSheds(t *testing.T) {
+	var mu sync.Mutex
+	posts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		posts++
+		shed := posts%2 == 0
+		mu.Unlock()
+		if shed {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"type":"error","status_code":429,"result":{"message":"engine saturated, shedding load"}}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"type":"async","status_code":202,"result":{"id":"x"}}`))
+	}))
+	defer srv.Close()
+
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	cfg, err := newRunConfig(runFlags{addr: addr, concurrency: 2, duration: 50 * time.Millisecond, batch: 1, kinds: "noop=1", timeout: time.Second, pollInterval: 25 * time.Millisecond, observeTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := cfg.run(1)
+	if rep.requests == 0 {
+		t.Fatal("run made no requests")
+	}
+	if rep.sheds == 0 {
+		t.Fatal("alternating-429 stub produced no sheds")
+	}
+	if rep.sheds+rep.accepted != rep.requests {
+		t.Errorf("sheds %d + accepted %d != requests %d", rep.sheds, rep.accepted, rep.requests)
+	}
+	if rep.transportErrs != 0 {
+		t.Errorf("sheds leaked into transport errors: %d", rep.transportErrs)
+	}
+	if got := rep.retryAfter[2]; got != rep.sheds {
+		t.Errorf("retryAfter[2] = %d, want every shed (%d)", got, rep.sheds)
+	}
+	out := rep.format(cfg)
+	if !strings.Contains(out, "sheds:") || !strings.Contains(out, "2s×") {
+		t.Errorf("report missing shed line or retry histogram:\n%s", out)
+	}
+}
+
+// TestRunWithClients drives a stub daemon with an adversarial mix and
+// checks (a) every request carries the expected X-Client-Id, (b) the
+// greedy client submits but never observes, and (c) the per-client
+// breakdown reaches both the text and JSON reports.
+func TestRunWithClients(t *testing.T) {
+	var mu sync.Mutex
+	postClients := map[string]int{}
+	getCount := 0
+	submissions := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			mu.Lock()
+			getCount++
+			mu.Unlock()
+			w.Write([]byte(`{"type":"sync","status_code":200,"result":{"id":"x","status":"done"}}`))
+			return
+		}
+		mu.Lock()
+		postClients[r.Header.Get("X-Client-Id")]++
+		submissions++
+		id := strconv.Itoa(submissions)
+		mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"type":"async","status_code":202,"result":{"id":"` + id + `","status":"queued"}}`))
+	}))
+	defer srv.Close()
+
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	cfg, err := newRunConfig(runFlags{
+		addr: addr, concurrency: 4, duration: 50 * time.Millisecond, batch: 1,
+		kinds: "noop=1", timeout: time.Second,
+		observe: "poll", pollInterval: time.Millisecond, observeTimeout: 5 * time.Second,
+		clients: 3, greedyFrac: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := cfg.run(1)
+	if rep.requests == 0 {
+		t.Fatal("run made no requests")
+	}
+	mu.Lock()
+	if postClients[""] > 0 {
+		t.Errorf("%d submissions carried no X-Client-Id", postClients[""])
+	}
+	for _, want := range []string{"greedy", "c1", "c2"} {
+		if postClients[want] == 0 {
+			t.Errorf("no submissions from client %q (saw %v)", want, postClients)
+		}
+	}
+	gets := getCount
+	mu.Unlock()
+	if gets == 0 {
+		t.Fatal("victim workers observed nothing")
+	}
+	greedy := rep.perClient["greedy"]
+	if greedy == nil {
+		t.Fatal("report has no greedy client entry")
+	}
+	if len(greedy.observeLatencies) != 0 {
+		t.Errorf("greedy client recorded %d observe latencies, want 0 (fire-and-forget)", len(greedy.observeLatencies))
+	}
+	if v := rep.perClient["c1"]; v == nil || len(v.observeLatencies) == 0 {
+		t.Errorf("victim c1 recorded no to-terminal samples: %+v", v)
+	}
+	out := rep.format(cfg)
+	if !strings.Contains(out, "per-client:") || !strings.Contains(out, "greedy") {
+		t.Errorf("report missing per-client block:\n%s", out)
+	}
+
+	path := t.TempDir() + "/run.json"
+	if err := rep.writeJSON(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		PerClient []jsonClient `json:"per_client"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PerClient) != 3 {
+		t.Fatalf("json per_client has %d rows, want 3: %s", len(got.PerClient), raw)
+	}
+	if got.PerClient[0].Client != "greedy" {
+		t.Errorf("json per_client[0] = %q, want greedy first", got.PerClient[0].Client)
+	}
+	for _, jc := range got.PerClient {
+		if jc.Client != "greedy" && jc.TimeToTerminal == nil {
+			t.Errorf("victim %q missing time_to_terminal in JSON", jc.Client)
+		}
 	}
 }
 
@@ -414,7 +609,7 @@ func TestRunWithCancelFrac(t *testing.T) {
 	defer srv.Close()
 
 	addr := strings.TrimPrefix(srv.URL, "http://")
-	cfg, err := newRunConfig(addr, 2, 50*time.Millisecond, 1, "noop=1", "", time.Second, 1.0, 0, "", 25*time.Millisecond, 30*time.Second)
+	cfg, err := newRunConfig(runFlags{addr: addr, concurrency: 2, duration: 50 * time.Millisecond, batch: 1, kinds: "noop=1", timeout: time.Second, cancelFrac: 1.0, pollInterval: 25 * time.Millisecond, observeTimeout: 30 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,12 @@
 // Package lockscope polices the engine's shard critical sections. A
-// storeShard, cancelShard, or watchShard mutex (and the noticeRing's)
-// guards a few map and slice operations and nothing else; anything
-// that can block or re-enter the store while the shard lock is held
-// turns a nanosecond critical section into a stall or a self-deadlock.
+// storeShard, cancelShard, or watchShard mutex (and the noticeRing's
+// and the scheduler schedQueue's) guards a few map and slice
+// operations and nothing else; anything that can block or re-enter the
+// store while the shard lock is held turns a nanosecond critical
+// section into a stall or a self-deadlock. For the scheduler the rule
+// additionally forces time to be sampled outside the lock: the
+// engine's clock is a function value, and calling it under schedQueue.mu
+// would run arbitrary test clocks inside the dispatch hot path.
 // For the watch hub specifically, the rule forces the wake protocol:
 // notify must detach the waiter list under the lock and perform the
 // channel sends after unlock — a send under the shard lock is exactly
@@ -52,6 +56,7 @@ var policedTypes = map[string]bool{
 	"cancelShard": true,
 	"watchShard":  true,
 	"noticeRing":  true,
+	"schedQueue":  true,
 }
 
 // storeInterface names the interface whose methods must not be called

@@ -202,6 +202,43 @@ func swapThenBroadcast(r *noticeRing) {
 	close(old)
 }
 
+// schedQueue mirrors the engine's dispatch scheduler: per-client
+// queues drained under one short-critical-section mutex, with time
+// sampled by callers because the clock is a function value.
+type schedQueue struct {
+	mu    sync.Mutex
+	items []string
+	clock func() int64
+}
+
+// clockUnderSchedLock calls the clock function value inside the
+// dispatch critical section — arbitrary (test-injected) code under the
+// hottest lock in the engine.
+func clockUnderSchedLock(q *schedQueue) int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.clock() // want `call through function value clock inside a shard critical section`
+}
+
+// tokenSendUnderSchedLock hands a dispatch token over while holding
+// the queue lock; a full token channel stalls every submitter.
+func tokenSendUnderSchedLock(q *schedQueue, tokens chan struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	tokens <- struct{}{} // want `channel send inside the q\.mu critical section`
+}
+
+// sampleThenAdd is the sanctioned scheduler pattern: sample the clock
+// and send the token outside the lock, touch only slices within it.
+func sampleThenAdd(q *schedQueue, tokens chan struct{}, id string) {
+	now := q.clock()
+	_ = now
+	q.mu.Lock()
+	q.items = append(q.items, id)
+	q.mu.Unlock()
+	tokens <- struct{}{}
+}
+
 // unpolicedMutex guards a type outside the policed set; lockscope does
 // not constrain it.
 type unpoliced struct {

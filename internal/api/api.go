@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"strconv"
 	"time"
@@ -67,10 +68,28 @@ func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 		"workers":        st.Workers,
 		"queue_depth":    st.QueueDepth,
 		"queue_capacity": st.QueueCapacity,
+		"queue_bands":    st.QueueBands,
+		"queue_clients":  st.QueueClients,
+		"shedding":       st.Shedding,
+		"shed_at":        st.ShedAt,
+		"drain_per_sec":  st.DrainPerSec,
 		"store_len":      st.StoreLen,
 		"watch_waiters":  st.WatchWaiters,
 		"last_notice":    st.LastNotice,
 	})
+}
+
+// clientKey attributes a request to a client for the scheduler's fair
+// queueing: the X-Client-Id header when present, else the remote host
+// (port stripped, so one client's connections pool into one queue).
+func clientKey(r *http.Request) string {
+	if key := r.Header.Get("X-Client-Id"); key != "" {
+		return key
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
 }
 
 // submitRequest is one operation in the body of POST /v1/operations,
@@ -79,6 +98,10 @@ func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 type submitRequest struct {
 	Kind   string         `json:"kind"`
 	Params map[string]any `json:"params"`
+	// Priority selects the scheduling band (low/normal/high). Absent
+	// means the kind's registered default, then normal; unknown values
+	// are rejected by the engine with a 400.
+	Priority core.Priority `json:"priority"`
 }
 
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
@@ -103,9 +126,13 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	op, err := s.engine.Submit(r.Context(), req.Kind, req.Params)
+	opts := []engine.SubmitOption{engine.AsClient(clientKey(r))}
+	if req.Priority != "" {
+		opts = append(opts, engine.AtPriority(req.Priority))
+	}
+	op, err := s.engine.Submit(r.Context(), req.Kind, req.Params, opts...)
 	if err != nil {
-		writeEngineError(w, err)
+		s.writeEngineError(w, err)
 		return
 	}
 	writeAsync(w, resourcePath(op), op)
@@ -125,11 +152,11 @@ func (s *Server) submitBatch(w http.ResponseWriter, r *http.Request, body []byte
 	// queue capacity); both surface as InvalidError → 400.
 	items := make([]engine.BatchItem, len(reqs))
 	for i, req := range reqs {
-		items[i] = engine.BatchItem{Kind: req.Kind, Params: req.Params}
+		items[i] = engine.BatchItem{Kind: req.Kind, Params: req.Params, Priority: req.Priority}
 	}
-	ops, err := s.engine.SubmitBatch(r.Context(), items)
+	ops, err := s.engine.SubmitBatch(r.Context(), items, engine.AsClient(clientKey(r)))
 	if err != nil {
-		writeEngineError(w, err)
+		s.writeEngineError(w, err)
 		return
 	}
 	writeBatchAsync(w, ops)
@@ -164,7 +191,7 @@ func (s *Server) get(w http.ResponseWriter, r *http.Request) {
 	}
 	op, err := s.engine.Get(id)
 	if err != nil {
-		writeEngineError(w, err)
+		s.writeEngineError(w, err)
 		return
 	}
 	writeSync(w, http.StatusOK, op)
@@ -177,7 +204,7 @@ func (s *Server) get(w http.ResponseWriter, r *http.Request) {
 func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 	op, err := s.engine.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeEngineError(w, err)
+		s.writeEngineError(w, err)
 		return
 	}
 	writeAsync(w, resourcePath(op), op)
@@ -214,7 +241,7 @@ func (s *Server) list(w http.ResponseWriter, r *http.Request) {
 	}
 	ops, err := s.engine.List(engine.ListQuery{Status: status, Cursor: cursor, Limit: limit})
 	if err != nil {
-		writeEngineError(w, err)
+		s.writeEngineError(w, err)
 		return
 	}
 	writeSync(w, http.StatusOK, ops)
@@ -237,8 +264,10 @@ func (s *Server) notFound(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusNotFound, fmt.Sprintf("no such endpoint: %s %s", r.Method, r.URL.Path))
 }
 
-// writeEngineError maps engine and core errors onto HTTP codes.
-func writeEngineError(w http.ResponseWriter, err error) {
+// writeEngineError maps engine and core errors onto HTTP codes. It is
+// a Server method because the backpressure replies (saturation shed,
+// hard queue-full) consult the engine for the Retry-After estimate.
+func (s *Server) writeEngineError(w http.ResponseWriter, err error) {
 	var inv *core.InvalidError
 	var batch *core.BatchError
 	switch {
@@ -254,8 +283,13 @@ func writeEngineError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusConflict, err.Error())
 	case errors.Is(err, core.ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
-	case errors.Is(err, core.ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, core.ErrSaturated), errors.Is(err, core.ErrQueueFull):
+		// Both are "come back later"; Retry-After carries the engine's
+		// depth-over-drain-rate estimate of when the queue will have
+		// room, in whole seconds per RFC 9110.
+		retry := strconv.Itoa(int(s.engine.RetryAfter().Seconds()))
+		writeErrorHeaders(w, http.StatusTooManyRequests, err.Error(),
+			map[string]string{"Retry-After": retry})
 	default:
 		// Likely a store failure once pluggable backends exist; the
 		// client gets an opaque 500, so the log is the only trace.

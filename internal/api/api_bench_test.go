@@ -73,12 +73,15 @@ func seedStore(st engine.Store, n int) []*core.Operation {
 
 // serve runs one request through the full handler stack and returns
 // the recorder.
-func serve(s *Server, method, path string, body string) *httptest.ResponseRecorder {
+func serve(s *Server, method, path string, body string, mods ...func(*http.Request)) *httptest.ResponseRecorder {
 	var r *http.Request
 	if body == "" {
 		r = httptest.NewRequest(method, path, nil)
 	} else {
 		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	for _, mod := range mods {
+		mod(r)
 	}
 	w := httptest.NewRecorder()
 	s.ServeHTTP(w, r)

@@ -45,13 +45,22 @@ func waitTerminal(t *testing.T, e *engine.Engine, id string) *core.Operation {
 	}
 }
 
-func doJSON(t *testing.T, s *Server, method, path, body string) (*httptest.ResponseRecorder, Response) {
+// withHeader returns a request modifier for doJSON that sets one
+// header, e.g. the X-Client-Id attribution tests exercise.
+func withHeader(key, value string) func(*http.Request) {
+	return func(r *http.Request) { r.Header.Set(key, value) }
+}
+
+func doJSON(t *testing.T, s *Server, method, path, body string, mods ...func(*http.Request)) (*httptest.ResponseRecorder, Response) {
 	t.Helper()
 	var r *http.Request
 	if body == "" {
 		r = httptest.NewRequest(method, path, nil)
 	} else {
 		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	for _, mod := range mods {
+		mod(r)
 	}
 	w := httptest.NewRecorder()
 	s.ServeHTTP(w, r)

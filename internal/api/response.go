@@ -143,10 +143,16 @@ func writeBatchError(w http.ResponseWriter, berr *core.BatchError) {
 // writeError replies with an error envelope carrying a client-safe
 // message.
 func writeError(w http.ResponseWriter, code int, message string) {
+	writeErrorHeaders(w, code, message, nil)
+}
+
+// writeErrorHeaders is writeError plus extra response headers, for
+// error replies that carry metadata (429's Retry-After).
+func writeErrorHeaders(w http.ResponseWriter, code int, message string, headers map[string]string) {
 	writeJSON(w, code, &Response{
 		Type:       typeError,
 		Status:     http.StatusText(code),
 		StatusCode: code,
 		Result:     errorResult{Message: message},
-	}, nil)
+	}, headers)
 }

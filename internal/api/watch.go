@@ -80,7 +80,7 @@ func (s *Server) waitParams(w http.ResponseWriter, r *http.Request) (wait bool, 
 func (s *Server) getWait(w http.ResponseWriter, r *http.Request, id string, timeout time.Duration) {
 	op, err := s.engine.Get(id)
 	if err != nil {
-		writeEngineError(w, err)
+		s.writeEngineError(w, err)
 		return
 	}
 	if op.Status.Terminal() {
@@ -104,12 +104,12 @@ func (s *Server) getWait(w http.ResponseWriter, r *http.Request, id string, time
 			cur, gerr := s.engine.Get(id)
 			if gerr != nil {
 				// Evicted while we waited; now it IS a 404.
-				writeEngineError(w, gerr)
+				s.writeEngineError(w, gerr)
 				return
 			}
 			writeSync(w, http.StatusOK, cur)
 		default:
-			writeEngineError(w, err)
+			s.writeEngineError(w, err)
 		}
 		return
 	}
@@ -176,7 +176,7 @@ func (s *Server) notices(w http.ResponseWriter, r *http.Request) {
 			// the client re-polls with the same cursor.
 			writeNotices(w, nil)
 		default:
-			writeEngineError(w, err)
+			s.writeEngineError(w, err)
 		}
 		return
 	}

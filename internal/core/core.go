@@ -39,6 +39,36 @@ const (
 	StatusCancelled Status = "cancelled"
 )
 
+// Priority is the scheduling class of an Operation. The engine drains
+// higher bands first (strict policy) or in weighted proportion
+// (weighted policy); within a band, clients share the worker pool
+// fairly. The empty string means "unset" and resolves at submission to
+// the kind's registered default, then to PriorityNormal.
+type Priority string
+
+const (
+	// PriorityLow marks background work that may wait behind everything
+	// else; the scheduler's aging valve still guarantees it eventually
+	// runs.
+	PriorityLow Priority = "low"
+	// PriorityNormal is the default scheduling class.
+	PriorityNormal Priority = "normal"
+	// PriorityHigh marks latency-sensitive work drained ahead of the
+	// other bands.
+	PriorityHigh Priority = "high"
+)
+
+// Valid reports whether p is one of the known priorities. The empty
+// string is not valid on the wire — it means "unset" and is resolved
+// before an operation is published.
+func (p Priority) Valid() bool {
+	switch p {
+	case PriorityLow, PriorityNormal, PriorityHigh:
+		return true
+	}
+	return false
+}
+
 // Terminal reports whether the status is a final state.
 func (s Status) Terminal() bool {
 	return s == StatusDone || s == StatusFailed || s == StatusCancelled
@@ -85,6 +115,15 @@ type Operation struct {
 	Status Status          `json:"status"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
+	// Priority is the scheduling class resolved at submission (request
+	// value, else the kind's registered default, else normal); it is
+	// always set on a published operation.
+	Priority Priority `json:"priority,omitempty"`
+	// Client is the submitting client's attribution key (the API's
+	// X-Client-Id header, falling back to the remote address); the
+	// scheduler's fair queueing keys on it. Empty for anonymous
+	// submissions, which all share one queue.
+	Client string `json:"client,omitempty"`
 	// Deadline is the execution time budget fixed at submission (the
 	// kind's registered deadline, or the engine default). Zero means
 	// the handler runs unbounded. The suffix names the JSON unit.
@@ -140,6 +179,12 @@ var (
 	ErrShuttingDown = errors.New("engine is shutting down")
 	// ErrQueueFull means the submission queue is at capacity.
 	ErrQueueFull = errors.New("operation queue is full")
+	// ErrSaturated means admission control refused the submission: the
+	// queue has reached the configured shed threshold and the engine is
+	// shedding load before it hard-fills. The API maps it to 429 with a
+	// Retry-After computed from queue depth and the observed drain
+	// rate.
+	ErrSaturated = errors.New("engine saturated, shedding load")
 	// ErrAlreadyTerminal means the operation has already reached a
 	// terminal state and can no longer be cancelled.
 	ErrAlreadyTerminal = errors.New("operation already in a terminal state")

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"sync"
 	"time"
 
@@ -37,6 +38,9 @@ type registration struct {
 	// the engine's DefaultDeadline (which may itself be zero:
 	// unbounded).
 	deadline time.Duration
+	// priority is the kind's default scheduling class for submissions
+	// that do not set one; empty falls back to core.PriorityNormal.
+	priority core.Priority
 }
 
 // RegisterOption tunes one kind's registration.
@@ -47,6 +51,16 @@ type RegisterOption func(*registration)
 // with a deadline error. d <= 0 means no per-kind bound.
 func WithDeadline(d time.Duration) RegisterOption {
 	return func(r *registration) { r.deadline = d }
+}
+
+// WithPriority sets the kind's default scheduling class, used when a
+// submission does not carry its own. Invalid values are ignored.
+func WithPriority(p core.Priority) RegisterOption {
+	return func(r *registration) {
+		if p.Valid() {
+			r.priority = p
+		}
+	}
 }
 
 // Config tunes an Engine. Zero values pick sensible defaults.
@@ -77,6 +91,30 @@ type Config struct {
 	// Once full, new notices overwrite the oldest; a long-poll cursor
 	// that falls off the ring resumes from the oldest retained notice.
 	NoticeRingSize int
+	// QueuePolicy selects how the scheduler drains priority bands:
+	// PolicyStrict (the default) serves the highest non-empty band
+	// first, PolicyWeighted gives each band a BandWeights-proportional
+	// share. Unknown values fall back to strict.
+	QueuePolicy string
+	// BandWeights are the per-band dispatch credits (high, normal,
+	// low) used by PolicyWeighted; entries < 1 default to {8, 4, 1}.
+	BandWeights [3]int
+	// DRRQuantum is how many operations one client may dispatch per
+	// round-robin turn within a band (default 1: strict per-client
+	// alternation).
+	DRRQuantum int
+	// PromoteAfter is the scheduler's aging threshold: an operation in
+	// a band below the one being served that has queued longer is
+	// dispatched next (capped at one aged dispatch in four, so aged
+	// backlogs cannot invert the bands). Zero picks the 5s default;
+	// negative disables aging.
+	PromoteAfter time.Duration
+	// ShedThreshold is the admission-control knob: once queue depth
+	// reaches this fraction of QueueDepth, submissions are refused
+	// with core.ErrSaturated (HTTP 429 + Retry-After) instead of
+	// queueing further. Values outside (0, 1) disable shedding, leaving
+	// only the hard ErrQueueFull bound.
+	ShedThreshold float64
 }
 
 // Engine owns the operation lifecycle: it accepts submissions, runs
@@ -88,16 +126,29 @@ type Engine struct {
 	defaultDeadline time.Duration
 	opTTL           time.Duration
 	gcInterval      time.Duration
-	queue           chan string
-	slots           chan struct{}
-	drained         chan struct{}
-	janitorStop     chan struct{}
-	wg              sync.WaitGroup
-	runCtx          context.Context
-	runStop         context.CancelFunc
-	mu              sync.RWMutex
-	handlers        map[string]registration
-	closed          bool
+	// sched holds accepted-but-undispatched operations in priority
+	// bands of per-client DRR queues; tokens counts them, one token
+	// per scheduled item, so workers block on the channel and never
+	// poll the scheduler. Closing tokens (Shutdown) drains the
+	// remaining buffered tokens through the workers, emptying sched.
+	sched  *schedQueue
+	tokens chan struct{}
+	// meter tracks the observed drain rate; RetryAfter divides queue
+	// depth by it to tell shed clients when to come back.
+	meter drainMeter
+	// shedAt is the queue depth at which admission control starts
+	// refusing submissions with core.ErrSaturated; shedAt >= queue
+	// capacity disables shedding.
+	shedAt      int
+	slots       chan struct{}
+	drained     chan struct{}
+	janitorStop chan struct{}
+	wg          sync.WaitGroup
+	runCtx      context.Context
+	runStop     context.CancelFunc
+	mu          sync.RWMutex
+	handlers    map[string]registration
+	closed      bool
 
 	// cancels is the sharded registry of in-flight operations' cancel
 	// functions. It has its own locks so Cancel never contends with
@@ -136,6 +187,32 @@ func New(cfg Config) *Engine {
 			cfg.GCInterval = time.Second
 		}
 	}
+	if cfg.QueuePolicy != PolicyWeighted {
+		cfg.QueuePolicy = PolicyStrict
+	}
+	for i, w := range cfg.BandWeights {
+		if w < 1 {
+			cfg.BandWeights[i] = []int{8, 4, 1}[i]
+		}
+	}
+	if cfg.DRRQuantum < 1 {
+		cfg.DRRQuantum = 1
+	}
+	switch {
+	case cfg.PromoteAfter == 0:
+		cfg.PromoteAfter = 5 * time.Second
+	case cfg.PromoteAfter < 0:
+		cfg.PromoteAfter = 0 // aging disabled
+	}
+	// Shedding starts at ceil(threshold * capacity) queued operations;
+	// outside (0, 1) only the hard ErrQueueFull bound applies.
+	shedAt := cfg.QueueDepth + 1
+	if cfg.ShedThreshold > 0 && cfg.ShedThreshold < 1 {
+		shedAt = int(math.Ceil(cfg.ShedThreshold * float64(cfg.QueueDepth)))
+		if shedAt < 1 {
+			shedAt = 1
+		}
+	}
 	// The engine's run context is the process-lifetime root that every
 	// handler context derives from; it is cancelled by Shutdown, not by
 	// any caller, so a detached root is the correct shape here.
@@ -148,7 +225,9 @@ func New(cfg Config) *Engine {
 		defaultDeadline: cfg.DefaultDeadline,
 		opTTL:           cfg.OpTTL,
 		gcInterval:      cfg.GCInterval,
-		queue:           make(chan string, cfg.QueueDepth),
+		sched:           newSchedQueue(cfg.QueuePolicy, cfg.BandWeights, cfg.DRRQuantum, cfg.PromoteAfter),
+		tokens:          make(chan struct{}, cfg.QueueDepth),
+		shedAt:          shedAt,
 		slots:           make(chan struct{}, cfg.QueueDepth),
 		drained:         make(chan struct{}),
 		janitorStop:     make(chan struct{}),
@@ -219,20 +298,66 @@ type Stats struct {
 	// LastNotice is the newest sequence number assigned in the notices
 	// feed (0 before the first transition).
 	LastNotice uint64 `json:"last_notice"`
+	// QueueBands is the scheduled (not yet dispatched) operation count
+	// per priority band.
+	QueueBands map[string]int `json:"queue_bands"`
+	// QueueClients is the scheduled operation count per client key,
+	// aggregated across bands. Anonymous submissions share the ""
+	// key.
+	QueueClients map[string]int `json:"queue_clients"`
+	// Shedding reports whether admission control is currently refusing
+	// submissions (queue depth has reached ShedAt).
+	Shedding bool `json:"shedding"`
+	// ShedAt is the queue depth at which shedding starts; a value
+	// above QueueCapacity means shedding is disabled.
+	ShedAt int `json:"shed_at"`
+	// DrainPerSec is the observed dequeue rate over the trailing
+	// window, the denominator of Retry-After.
+	DrainPerSec float64 `json:"drain_per_sec"`
 }
 
 // Stats reports queue and store saturation. QueueDepth counts reserved
 // queue slots, so it includes operations between acceptance and
 // dequeue.
 func (e *Engine) Stats() Stats {
+	bands, clients := e.sched.depths()
+	depth := len(e.slots)
 	return Stats{
 		Workers:       e.workers,
-		QueueDepth:    len(e.slots),
+		QueueDepth:    depth,
 		QueueCapacity: cap(e.slots),
 		StoreLen:      e.store.Len(),
 		WatchWaiters:  e.watch.waiters(),
 		LastNotice:    e.notices.last(),
+		QueueBands:    bands,
+		QueueClients:  clients,
+		Shedding:      depth >= e.shedAt,
+		ShedAt:        e.shedAt,
+		DrainPerSec:   e.meter.rate(e.clock()),
 	}
+}
+
+// retryCeiling bounds RetryAfter so shed clients never back off for
+// longer than the queue could plausibly take to drain.
+const retryCeiling = 30 * time.Second
+
+// RetryAfter estimates how long a shed client should wait before
+// resubmitting: current queue depth over the observed drain rate,
+// clamped to [1s, 30s]. With no observed drain (cold start, wedged
+// handlers) it returns the ceiling — the honest answer is "a while".
+func (e *Engine) RetryAfter() time.Duration {
+	rate := e.meter.rate(e.clock())
+	if rate <= 0 {
+		return retryCeiling
+	}
+	d := time.Duration(math.Ceil(float64(len(e.slots))/rate)) * time.Second
+	if d < time.Second {
+		return time.Second
+	}
+	if d > retryCeiling {
+		return retryCeiling
+	}
+	return d
 }
 
 // BatchItem describes one operation in a batch submission.
@@ -241,17 +366,47 @@ type BatchItem struct {
 	Kind string
 	// Params is the handler's input, passed through verbatim.
 	Params map[string]any
+	// Priority is the item's scheduling class; empty falls back to the
+	// submission-level AtPriority option, then the kind's registered
+	// default, then normal. Non-empty invalid values fail validation.
+	Priority core.Priority
+}
+
+// submitOptions collects the per-submission scheduling attributes.
+type submitOptions struct {
+	client   string
+	priority core.Priority
+}
+
+// SubmitOption tunes one Submit or SubmitBatch call.
+type SubmitOption func(*submitOptions)
+
+// AsClient attributes the submission to a client key; the scheduler's
+// fair queueing guarantees each key its share of dispatches, so one
+// hot tenant cannot starve the rest. Empty (the default) pools the
+// submission with all other anonymous work.
+func AsClient(key string) SubmitOption {
+	return func(o *submitOptions) { o.client = key }
+}
+
+// AtPriority sets the submission's scheduling class, overriding the
+// kinds' registered defaults for every item that does not carry its
+// own. Empty defers to those defaults; non-empty invalid values fail
+// validation.
+func AtPriority(p core.Priority) SubmitOption {
+	return func(o *submitOptions) { o.priority = p }
 }
 
 // Submit validates and enqueues an operation of the given kind,
 // returning its queued snapshot. It fails fast with
-// core.ErrUnknownKind, core.ErrShuttingDown, or core.ErrQueueFull. The
-// context covers admission only — a caller that has already given up
-// (request aborted, client gone) is rejected with its ctx error instead
-// of enqueuing work nobody will read; it does not bound the operation's
+// core.ErrUnknownKind, core.ErrShuttingDown, core.ErrSaturated (the
+// admission-control shed), or core.ErrQueueFull. The context covers
+// admission only — a caller that has already given up (request
+// aborted, client gone) is rejected with its ctx error instead of
+// enqueuing work nobody will read; it does not bound the operation's
 // execution, which is governed by the kind's deadline.
-func (e *Engine) Submit(ctx context.Context, kind string, params map[string]any) (*core.Operation, error) {
-	ops, err := e.SubmitBatch(ctx, []BatchItem{{Kind: kind, Params: params}})
+func (e *Engine) Submit(ctx context.Context, kind string, params map[string]any, opts ...SubmitOption) (*core.Operation, error) {
+	ops, err := e.SubmitBatch(ctx, []BatchItem{{Kind: kind, Params: params}}, opts...)
 	if err != nil {
 		// A single-item batch rejection carries exactly one item
 		// error; surface it directly so callers keep seeing the
@@ -269,14 +424,15 @@ func (e *Engine) Submit(ctx context.Context, kind string, params map[string]any)
 // SubmitBatch validates and enqueues a batch of operations atomically:
 // either every item is accepted and queued snapshots are returned in
 // batch order, or nothing is enqueued. Validation failures are
-// reported per item through *core.BatchError; capacity and shutdown
-// failures (core.ErrQueueFull, core.ErrShuttingDown) apply to the
-// batch as a whole. Store writes are amortised into a single PutBatch
-// call, so large batches take each store lock O(shards) times instead
-// of O(items). The context covers admission only (see Submit): once the
-// batch is validated and its queue slots are reserved it commits, so a
-// context cancelled mid-flight never yields a half-enqueued batch.
-func (e *Engine) SubmitBatch(ctx context.Context, items []BatchItem) ([]*core.Operation, error) {
+// reported per item through *core.BatchError; admission, capacity, and
+// shutdown failures (core.ErrSaturated, core.ErrQueueFull,
+// core.ErrShuttingDown) apply to the batch as a whole. Store writes
+// are amortised into a single PutBatch call, so large batches take
+// each store lock O(shards) times instead of O(items). The context
+// covers admission only (see Submit): once the batch is validated and
+// its queue slots are reserved it commits, so a context cancelled
+// mid-flight never yields a half-enqueued batch.
+func (e *Engine) SubmitBatch(ctx context.Context, items []BatchItem, opts ...SubmitOption) ([]*core.Operation, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -292,22 +448,39 @@ func (e *Engine) SubmitBatch(ctx context.Context, items []BatchItem) ([]*core.Op
 			Reason: fmt.Sprintf("size %d exceeds queue capacity %d", len(items), cap(e.slots)),
 		}
 	}
+	var sub submitOptions
+	for _, opt := range opts {
+		opt(&sub)
+	}
+	if sub.priority != "" && !sub.priority.Valid() {
+		return nil, &core.InvalidError{
+			Field:  "priority",
+			Reason: fmt.Sprintf("must be low, normal, or high, got %q", sub.priority),
+		}
+	}
 
 	// Validate every item before touching the queue or store, so a
 	// rejected batch leaves no trace and the client learns about all
 	// bad items in one round trip. One read-lock covers the whole
 	// loop — per-item locking would re-serialize submitters on the
-	// engine mutex. The kind's effective deadline is captured here so
-	// the operation record carries the budget it was accepted under,
-	// even if the kind is re-registered before a worker picks it up.
+	// engine mutex. The kind's effective deadline and resolved
+	// priority are captured here so the operation record carries the
+	// attributes it was accepted under, even if the kind is
+	// re-registered before a worker picks it up.
 	var berr *core.BatchError
 	deadlines := make([]time.Duration, len(items))
+	priorities := make([]core.Priority, len(items))
 	e.mu.RLock()
 	for i, it := range items {
 		var err error
 		switch {
 		case it.Kind == "":
 			err = &core.InvalidError{Field: "kind", Reason: "must not be empty"}
+		case it.Priority != "" && !it.Priority.Valid():
+			err = &core.InvalidError{
+				Field:  "priority",
+				Reason: fmt.Sprintf("must be low, normal, or high, got %q", it.Priority),
+			}
 		default:
 			reg, ok := e.handlers[it.Kind]
 			if !ok {
@@ -317,6 +490,18 @@ func (e *Engine) SubmitBatch(ctx context.Context, items []BatchItem) ([]*core.Op
 			deadlines[i] = reg.deadline
 			if deadlines[i] <= 0 {
 				deadlines[i] = e.defaultDeadline
+			}
+			// Priority resolution: item, then submission option, then
+			// kind default, then normal.
+			switch {
+			case it.Priority != "":
+				priorities[i] = it.Priority
+			case sub.priority != "":
+				priorities[i] = sub.priority
+			case reg.priority != "":
+				priorities[i] = reg.priority
+			default:
+				priorities[i] = core.PriorityNormal
 			}
 		}
 		if err != nil {
@@ -339,6 +524,8 @@ func (e *Engine) SubmitBatch(ctx context.Context, items []BatchItem) ([]*core.Op
 			Kind:      it.Kind,
 			Params:    it.Params,
 			Status:    core.StatusQueued,
+			Priority:  priorities[i],
+			Client:    sub.client,
 			Deadline:  deadlines[i],
 			CreatedAt: now,
 			UpdatedAt: now,
@@ -355,12 +542,19 @@ func (e *Engine) SubmitBatch(ctx context.Context, items []BatchItem) ([]*core.Op
 	// keeps closed-checks atomic with Shutdown closing the queue.
 	// Reservation is all-or-nothing: on a full queue the tokens taken
 	// so far are drained back, which cannot block because every other
-	// token in the channel is backed by a queued ID a worker has not
-	// yet dequeued.
+	// token in the channel is backed by a scheduled operation a worker
+	// has not yet dequeued. Admission control runs first: once depth
+	// reaches the shed threshold the whole batch is refused with
+	// ErrSaturated, the typed signal the API turns into 429 +
+	// Retry-After.
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return nil, core.ErrShuttingDown
+	}
+	if len(e.slots) >= e.shedAt {
+		e.mu.Unlock()
+		return nil, core.ErrSaturated
 	}
 	reserved := 0
 	for range ops {
@@ -391,7 +585,8 @@ func (e *Engine) SubmitBatch(ctx context.Context, items []BatchItem) ([]*core.Op
 		return nil, core.ErrShuttingDown
 	}
 	for _, op := range ops {
-		e.queue <- op.ID
+		e.sched.add(op.ID, sub.client, bandIndex(op.Priority), now)
+		e.tokens <- struct{}{}
 	}
 	e.mu.Unlock()
 	// Record the birth transitions in the feed so a notices watcher
@@ -487,7 +682,7 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	e.mu.Lock()
 	if !e.closed {
 		e.closed = true
-		close(e.queue)
+		close(e.tokens)
 		close(e.janitorStop)
 		go func() {
 			e.wg.Wait()
@@ -547,8 +742,22 @@ func (e *Engine) GC() int {
 
 func (e *Engine) worker() {
 	defer e.wg.Done()
-	for id := range e.queue {
+	// Each token in the channel is backed by exactly one scheduled
+	// operation, so every successful receive corresponds to one
+	// successful take; which operation is decided here, at dispatch
+	// time, by the scheduler's priority/fairness policy rather than by
+	// arrival order.
+	for range e.tokens {
 		<-e.slots
+		now := e.clock()
+		id, ok := e.sched.take(now)
+		if !ok {
+			// Unreachable by construction; release the slot rather
+			// than leak it if the invariant is ever broken.
+			e.slots <- struct{}{}
+			continue
+		}
+		e.meter.record(now)
 		e.run(id)
 	}
 }

@@ -1,0 +1,351 @@
+package engine
+
+// The scheduling layer that replaced the single FIFO dispatch channel.
+// Accepted operations land in a schedQueue: three priority bands
+// (high/normal/low), each holding per-client FIFO queues served in
+// deficit-round-robin order. Dispatch order is decided at dequeue
+// time, so one greedy tenant's backlog no longer sits in front of
+// everyone else's work:
+//
+//   - Between bands, the strict policy drains the highest non-empty
+//     band first; the weighted policy cycles bands with configurable
+//     credits so lower bands get a proportional share even under
+//     sustained high-priority load.
+//   - Within a band, each client gets one quantum of operations per
+//     round-robin turn (unit-cost DRR), so a client with 10,000 queued
+//     operations and a client with 1 alternate instead of the 10,000
+//     draining first.
+//   - An aging escape valve bounds starvation under the strict policy:
+//     when the oldest waiter of a band below the currently served one
+//     has queued longer than promoteAfter, it is served next (it is by
+//     construction its client's FIFO head, so serving it is the
+//     promotion). The valve is capped at one aged dispatch per
+//     agedEvery takes so a flood of aged low-priority work cannot
+//     invert the bands.
+//
+// Concurrency contract: schedQueue.mu guards a few map/slice
+// operations and nothing else. Its name places its critical sections
+// under the lockscope analyzer — no channel operations, callbacks,
+// Store calls, or re-entrant shard locking while it is held. Time is
+// sampled by callers and passed in, because the engine's clock is a
+// function value the analyzer (rightly) refuses to see invoked under
+// the lock.
+
+import (
+	"sync"
+	"time"
+
+	"opdaemon/internal/core"
+)
+
+// numBands is the number of priority bands.
+const numBands = 3
+
+// agedEvery caps the aging escape valve: at most one aged dispatch per
+// this many takes, so aged low-band backlogs are drained without
+// inverting the priority order.
+const agedEvery = 4
+
+// Scheduling policies selectable via Config.QueuePolicy.
+const (
+	// PolicyStrict drains the highest non-empty band first; lower bands
+	// progress only through the aging valve.
+	PolicyStrict = "strict"
+	// PolicyWeighted cycles bands with Config.BandWeights credits per
+	// round, giving every band a proportional share.
+	PolicyWeighted = "weighted"
+)
+
+// bandIndex maps a resolved priority onto its band slot; lower index
+// drains first under the strict policy.
+func bandIndex(p core.Priority) int {
+	switch p {
+	case core.PriorityHigh:
+		return 0
+	case core.PriorityLow:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// bandPriority is the inverse of bandIndex, for stats labels.
+func bandPriority(i int) core.Priority {
+	switch i {
+	case 0:
+		return core.PriorityHigh
+	case 2:
+		return core.PriorityLow
+	default:
+		return core.PriorityNormal
+	}
+}
+
+// schedItem is one accepted operation awaiting dispatch.
+type schedItem struct {
+	id       string
+	client   string
+	enqueued time.Time
+	// taken marks items already dispatched, so the band's arrival list
+	// can skip them lazily instead of paying O(n) removals.
+	taken bool
+}
+
+// clientQueue is one client's FIFO within a band plus its DRR credit.
+// The head index avoids O(n) slice shifts on every pop.
+type clientQueue struct {
+	key     string
+	items   []*schedItem
+	head    int
+	deficit int
+}
+
+func (cq *clientQueue) empty() bool { return cq.head >= len(cq.items) }
+
+func (cq *clientQueue) pending() int { return len(cq.items) - cq.head }
+
+func (cq *clientQueue) push(it *schedItem) { cq.items = append(cq.items, it) }
+
+func (cq *clientQueue) pop() *schedItem {
+	it := cq.items[cq.head]
+	cq.items[cq.head] = nil // unpin for GC
+	cq.head++
+	if cq.empty() {
+		cq.items = cq.items[:0]
+		cq.head = 0
+	}
+	return it
+}
+
+// schedBand is one priority band: per-client queues in DRR rotation
+// plus an arrival-order list that makes "oldest waiter" an O(1)
+// question for the aging valve.
+type schedBand struct {
+	clients map[string]*clientQueue
+	// active is the DRR rotation; active[0] is the client currently
+	// being served. Queues drained out-of-turn by the aging valve stay
+	// listed and are dropped lazily when their turn comes.
+	active  []*clientQueue
+	arrival []*schedItem
+	astart  int
+	n       int
+}
+
+// head returns the band's oldest pending item, compacting the arrival
+// list past items the DRR path already dispatched.
+func (b *schedBand) head() *schedItem {
+	for b.astart < len(b.arrival) {
+		if it := b.arrival[b.astart]; !it.taken {
+			return it
+		}
+		b.arrival[b.astart] = nil
+		b.astart++
+	}
+	b.arrival = b.arrival[:0]
+	b.astart = 0
+	return nil
+}
+
+// next serves one item from the band in DRR order: the client at the
+// front of the rotation spends one deficit credit per operation and
+// rotates to the back when its quantum is spent.
+func (b *schedBand) next(quantum int) *schedItem {
+	for len(b.active) > 0 {
+		cq := b.active[0]
+		if cq.empty() {
+			// Drained out of turn by the aging valve; retire the queue.
+			b.active = b.active[1:]
+			delete(b.clients, cq.key)
+			continue
+		}
+		if cq.deficit <= 0 {
+			cq.deficit = quantum
+		}
+		it := cq.pop()
+		it.taken = true
+		cq.deficit--
+		b.n--
+		if cq.empty() {
+			b.active = b.active[1:]
+			delete(b.clients, cq.key)
+		} else if cq.deficit == 0 {
+			b.active = append(b.active[1:], cq)
+		}
+		return it
+	}
+	return nil
+}
+
+// takeHead dispatches the band's oldest pending item out of DRR order
+// — the aging valve's promotion — returning the item actually removed.
+// The item is necessarily its client's FIFO head: it is the oldest
+// pending item of the whole band, and client queues pop oldest-first.
+// An emptied queue stays in active/clients; the DRR path retires it
+// lazily when its turn comes, and re-adds land in the same queue.
+func (b *schedBand) takeHead(it *schedItem) *schedItem {
+	popped := b.clients[it.client].pop()
+	popped.taken = true
+	b.n--
+	return popped
+}
+
+// schedQueue is the engine's dispatch queue: priority bands over
+// per-client DRR queues, guarded by one short-critical-section mutex.
+// Its type name places those critical sections under the lockscope
+// analyzer's no-blocking-under-lock contract.
+type schedQueue struct {
+	mu    sync.Mutex
+	bands [numBands]schedBand
+	// quantum is the DRR credit granted per client turn (operations).
+	quantum int
+	// weighted selects the weighted band policy; weights/credits/cur
+	// are its rotation state.
+	weighted bool
+	weights  [numBands]int
+	credits  [numBands]int
+	cur      int
+	// promoteAfter is the aging threshold; zero disables the valve.
+	promoteAfter time.Duration
+	// sinceAged counts takes since the last aged dispatch, for the
+	// 1-in-agedEvery cap.
+	sinceAged int
+	n         int
+}
+
+// newSchedQueue builds a scheduler; inputs are assumed normalized by
+// engine.New (policy a known constant, quantum >= 1, weights >= 1).
+func newSchedQueue(policy string, weights [numBands]int, quantum int, promoteAfter time.Duration) *schedQueue {
+	s := &schedQueue{
+		quantum:      quantum,
+		weighted:     policy == PolicyWeighted,
+		weights:      weights,
+		promoteAfter: promoteAfter,
+	}
+	for i := range s.bands {
+		s.bands[i].clients = make(map[string]*clientQueue)
+	}
+	return s
+}
+
+// add enqueues an accepted operation under its client's queue in the
+// given band. now is sampled by the caller (the engine clock is a
+// function value, not callable under the lock).
+func (s *schedQueue) add(id, client string, band int, now time.Time) {
+	it := &schedItem{id: id, client: client, enqueued: now}
+	s.mu.Lock()
+	b := &s.bands[band]
+	cq := b.clients[client]
+	if cq == nil {
+		cq = &clientQueue{key: client}
+		b.clients[client] = cq
+		b.active = append(b.active, cq)
+	}
+	cq.push(it)
+	b.arrival = append(b.arrival, it)
+	b.n++
+	s.n++
+	s.mu.Unlock()
+}
+
+// take dispatches the next operation, or reports false on an empty
+// queue. The engine's token channel guarantees one successful take per
+// token, so false indicates a bookkeeping bug, not a race.
+func (s *schedQueue) take(now time.Time) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return "", false
+	}
+	s.sinceAged++
+	if it := s.takeAged(now); it != nil {
+		s.sinceAged = 0
+		s.n--
+		return it.id, true
+	}
+	var it *schedItem
+	if s.weighted {
+		it = s.takeWeighted()
+	} else {
+		it = s.takeStrict()
+	}
+	if it == nil {
+		return "", false
+	}
+	s.n--
+	return it.id, true
+}
+
+// takeAged is the starvation escape valve: among bands below the first
+// non-empty one (those the current policy may be under-serving), serve
+// the oldest waiter whose age crossed promoteAfter. Capped at one aged
+// dispatch per agedEvery takes.
+func (s *schedQueue) takeAged(now time.Time) *schedItem {
+	if s.promoteAfter <= 0 || s.sinceAged < agedEvery {
+		return nil
+	}
+	first := 0
+	for first < numBands && s.bands[first].n == 0 {
+		first++
+	}
+	var oldest *schedItem
+	oldestBand := -1
+	for i := first + 1; i < numBands; i++ {
+		h := s.bands[i].head()
+		if h == nil || now.Sub(h.enqueued) < s.promoteAfter {
+			continue
+		}
+		if oldest == nil || h.enqueued.Before(oldest.enqueued) {
+			oldest, oldestBand = h, i
+		}
+	}
+	if oldest == nil {
+		return nil
+	}
+	return s.bands[oldestBand].takeHead(oldest)
+}
+
+// takeStrict serves the highest non-empty band.
+func (s *schedQueue) takeStrict() *schedItem {
+	for i := range s.bands {
+		if s.bands[i].n > 0 {
+			return s.bands[i].next(s.quantum)
+		}
+	}
+	return nil
+}
+
+// takeWeighted cycles bands spending per-band credits, replenished as
+// the rotation passes each band, so every band gets a weights-
+// proportional share of dispatches. Two full cycles always reach a
+// non-empty band when one exists; the strict fallback is unreachable
+// belt-and-braces.
+func (s *schedQueue) takeWeighted() *schedItem {
+	for tries := 0; tries < numBands*2; tries++ {
+		if s.credits[s.cur] > 0 && s.bands[s.cur].n > 0 {
+			s.credits[s.cur]--
+			return s.bands[s.cur].next(s.quantum)
+		}
+		s.cur = (s.cur + 1) % numBands
+		s.credits[s.cur] = s.weights[s.cur]
+	}
+	return s.takeStrict()
+}
+
+// depths reports the per-band and per-client pending counts for Stats
+// and /v1/health. The per-client map aggregates across bands.
+func (s *schedQueue) depths() (bands map[string]int, clients map[string]int) {
+	bands = make(map[string]int, numBands)
+	clients = make(map[string]int)
+	s.mu.Lock()
+	for i := range s.bands {
+		b := &s.bands[i]
+		bands[string(bandPriority(i))] = b.n
+		for key, cq := range b.clients {
+			if p := cq.pending(); p > 0 {
+				clients[key] += p
+			}
+		}
+	}
+	s.mu.Unlock()
+	return bands, clients
+}
