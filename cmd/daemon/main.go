@@ -46,6 +46,7 @@ type daemonConfig struct {
 	drrQuantum      int
 	promoteAfter    time.Duration
 	shedThreshold   float64
+	trustClientHdr  bool
 }
 
 // parseBandWeights parses the -band-weights flag value: three comma-
@@ -84,6 +85,7 @@ func main() {
 	flag.IntVar(&cfg.drrQuantum, "drr-quantum", 1, "operations served per client per round-robin turn within a band")
 	flag.DurationVar(&cfg.promoteAfter, "promote-after", 5*time.Second, "age at which a starved lower-band operation is promoted; <0 disables aging")
 	flag.Float64Var(&cfg.shedThreshold, "shed-threshold", 0, "shed submissions with 429 once queue depth reaches this fraction of capacity (0,1); 0 disables shedding")
+	flag.BoolVar(&cfg.trustClientHdr, "trust-client-header", true, "honour X-Client-Id for fair-queueing attribution; set false for untrusted clients (the header is unauthenticated, so a greedy client could mint fresh scheduler queues per request) to key on remote address only")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -163,7 +165,7 @@ func run(cfg daemonConfig) error {
 	}
 	srv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           api.New(eng, api.WithMaxWait(cfg.maxWait)),
+		Handler:           api.New(eng, api.WithMaxWait(cfg.maxWait), api.WithClientHeaderTrust(cfg.trustClientHdr)),
 		ReadHeaderTimeout: 5 * time.Second,
 		// Bound request reads, response writes, and idle keep-alives
 		// so a client trickling bytes in either direction can't hold

@@ -29,11 +29,14 @@ type Server struct {
 	// maxWait bounds long-poll waits (?wait=true); client-requested
 	// timeouts above it are clamped. See WithMaxWait.
 	maxWait time.Duration
+	// trustClientHeader controls whether X-Client-Id is honoured for
+	// scheduler client attribution. See WithClientHeaderTrust.
+	trustClientHeader bool
 }
 
 // New builds the API server around an engine.
 func New(e *engine.Engine, opts ...Option) *Server {
-	s := &Server{engine: e, mux: http.NewServeMux(), maxWait: defaultMaxWait}
+	s := &Server{engine: e, mux: http.NewServeMux(), maxWait: defaultMaxWait, trustClientHeader: true}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -79,12 +82,26 @@ func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// WithClientHeaderTrust controls whether the scheduler's client
+// attribution honours the X-Client-Id request header (the default).
+// The header is unauthenticated, so a greedy client can randomize it
+// per request to mint itself a fresh fair-queueing share each time;
+// deployments serving untrusted clients should pass false to key
+// solely on the remote host, which a client cannot cheaply multiply.
+// See docs/scheduling.md for the trust model.
+func WithClientHeaderTrust(trust bool) Option {
+	return func(s *Server) { s.trustClientHeader = trust }
+}
+
 // clientKey attributes a request to a client for the scheduler's fair
-// queueing: the X-Client-Id header when present, else the remote host
-// (port stripped, so one client's connections pool into one queue).
-func clientKey(r *http.Request) string {
-	if key := r.Header.Get("X-Client-Id"); key != "" {
-		return key
+// queueing: the X-Client-Id header when present and trusted (see
+// WithClientHeaderTrust), else the remote host (port stripped, so one
+// client's connections pool into one queue).
+func (s *Server) clientKey(r *http.Request) string {
+	if s.trustClientHeader {
+		if key := r.Header.Get("X-Client-Id"); key != "" {
+			return key
+		}
 	}
 	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
 		return host
@@ -126,7 +143,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	opts := []engine.SubmitOption{engine.AsClient(clientKey(r))}
+	opts := []engine.SubmitOption{engine.AsClient(s.clientKey(r))}
 	if req.Priority != "" {
 		opts = append(opts, engine.AtPriority(req.Priority))
 	}
@@ -154,7 +171,7 @@ func (s *Server) submitBatch(w http.ResponseWriter, r *http.Request, body []byte
 	for i, req := range reqs {
 		items[i] = engine.BatchItem{Kind: req.Kind, Params: req.Params, Priority: req.Priority}
 	}
-	ops, err := s.engine.SubmitBatch(r.Context(), items, engine.AsClient(clientKey(r)))
+	ops, err := s.engine.SubmitBatch(r.Context(), items, engine.AsClient(s.clientKey(r)))
 	if err != nil {
 		s.writeEngineError(w, err)
 		return

@@ -14,14 +14,14 @@ import (
 	"opdaemon/internal/engine"
 )
 
-func newTestServer(t *testing.T) (*Server, *engine.Engine) {
+func newTestServer(t *testing.T, opts ...Option) (*Server, *engine.Engine) {
 	t.Helper()
 	e := engine.New(engine.Config{Workers: 2})
 	t.Cleanup(func() { e.Shutdown(context.Background()) })
 	e.Register("echo", func(_ context.Context, op *core.Operation) (any, error) {
 		return op.Params, nil
 	})
-	return New(e), e
+	return New(e, opts...), e
 }
 
 // waitTerminal polls the engine until the operation settles; tests

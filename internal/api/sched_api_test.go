@@ -66,6 +66,23 @@ func TestSubmitClientAttribution(t *testing.T) {
 	}
 }
 
+// TestClientHeaderTrustDisabled checks WithClientHeaderTrust(false):
+// for deployments serving untrusted clients, X-Client-Id must be
+// ignored (a client could otherwise randomize it per request to mint
+// itself fresh fair-queueing shares) and attribution keys on the
+// remote host alone.
+func TestClientHeaderTrustDisabled(t *testing.T) {
+	s, _ := newTestServer(t, WithClientHeaderTrust(false))
+
+	w, resp := doJSON(t, s, http.MethodPost, "/v1/operations", `{"kind":"echo"}`,
+		withHeader("X-Client-Id", "forged-tenant"))
+	checkEnvelope(t, w, resp, typeAsync, http.StatusAccepted)
+	result, _ := resp.Result.(map[string]any)
+	if result["client"] != "192.0.2.1" {
+		t.Errorf("client with untrusted header = %v, want remote host 192.0.2.1", result["client"])
+	}
+}
+
 func TestSaturatedSubmitReturns429WithRetryAfter(t *testing.T) {
 	e := engine.New(engine.Config{
 		Workers:       1,

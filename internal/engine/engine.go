@@ -109,11 +109,12 @@ type Config struct {
 	// backlogs cannot invert the bands). Zero picks the 5s default;
 	// negative disables aging.
 	PromoteAfter time.Duration
-	// ShedThreshold is the admission-control knob: once queue depth
-	// reaches this fraction of QueueDepth, submissions are refused
-	// with core.ErrSaturated (HTTP 429 + Retry-After) instead of
-	// queueing further. Values outside (0, 1) disable shedding, leaving
-	// only the hard ErrQueueFull bound.
+	// ShedThreshold is the admission-control knob: a submission or
+	// batch that would push queue depth past this fraction of
+	// QueueDepth is refused with core.ErrSaturated (HTTP 429 +
+	// Retry-After) instead of queueing further — the threshold is a
+	// hard depth bound, batches included. Values outside (0, 1)
+	// disable shedding, leaving only the hard ErrQueueFull bound.
 	ShedThreshold float64
 }
 
@@ -543,16 +544,18 @@ func (e *Engine) SubmitBatch(ctx context.Context, items []BatchItem, opts ...Sub
 	// Reservation is all-or-nothing: on a full queue the tokens taken
 	// so far are drained back, which cannot block because every other
 	// token in the channel is backed by a scheduled operation a worker
-	// has not yet dequeued. Admission control runs first: once depth
-	// reaches the shed threshold the whole batch is refused with
-	// ErrSaturated, the typed signal the API turns into 429 +
-	// Retry-After.
+	// has not yet dequeued. Admission control runs first and accounts
+	// for the batch size, so shedAt is a hard depth bound: a batch
+	// that would push depth past the shed threshold is refused whole
+	// with ErrSaturated, the typed signal the API turns into 429 +
+	// Retry-After. (For a single operation this is the familiar
+	// "refuse once depth reached shedAt".)
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return nil, core.ErrShuttingDown
 	}
-	if len(e.slots) >= e.shedAt {
+	if len(e.slots)+len(ops) > e.shedAt {
 		e.mu.Unlock()
 		return nil, core.ErrSaturated
 	}

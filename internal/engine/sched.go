@@ -219,6 +219,9 @@ func newSchedQueue(policy string, weights [numBands]int, quantum int, promoteAft
 		quantum:      quantum,
 		weighted:     policy == PolicyWeighted,
 		weights:      weights,
+		// Credits start full so the very first take serves the highest
+		// band rather than skipping it while the rotation warms up.
+		credits:      weights,
 		promoteAfter: promoteAfter,
 	}
 	for i := range s.bands {
@@ -260,6 +263,7 @@ func (s *schedQueue) take(now time.Time) (string, bool) {
 	if it := s.takeAged(now); it != nil {
 		s.sinceAged = 0
 		s.n--
+		s.compact()
 		return it.id, true
 	}
 	var it *schedItem
@@ -272,7 +276,22 @@ func (s *schedQueue) take(now time.Time) (string, bool) {
 		return "", false
 	}
 	s.n--
+	s.compact()
 	return it.id, true
+}
+
+// compact advances every band's arrival list past already-dispatched
+// items. Each dispatch marks its item taken but leaves it in arrival;
+// without this sweep the busiest band (which the aging valve never
+// inspects — it only looks at bands below the first non-empty one)
+// would pin every dispatched item forever, a leak proportional to
+// total operations ever enqueued. Each arrival slot is advanced past
+// exactly once, so the sweep is amortized O(1) per dispatch and keeps
+// arrival bounded by the band's pending items.
+func (s *schedQueue) compact() {
+	for i := range s.bands {
+		s.bands[i].head()
+	}
 }
 
 // takeAged is the starvation escape valve: among bands below the first
@@ -314,19 +333,23 @@ func (s *schedQueue) takeStrict() *schedItem {
 	return nil
 }
 
-// takeWeighted cycles bands spending per-band credits, replenished as
-// the rotation passes each band, so every band gets a weights-
-// proportional share of dispatches. Two full cycles always reach a
-// non-empty band when one exists; the strict fallback is unreachable
-// belt-and-braces.
+// takeWeighted cycles bands in weighted round-robin: the current band
+// spends one credit per dispatch, and the rotation advances past a
+// band when it has nothing to serve or its credits are exhausted —
+// replenishing only exhausted credits, so a band skipped while empty
+// keeps its remaining share and the weights ratio holds among the
+// bands that have work. Two full cycles always reach a non-empty band
+// when one exists; the strict fallback is unreachable belt-and-braces.
 func (s *schedQueue) takeWeighted() *schedItem {
 	for tries := 0; tries < numBands*2; tries++ {
 		if s.credits[s.cur] > 0 && s.bands[s.cur].n > 0 {
 			s.credits[s.cur]--
 			return s.bands[s.cur].next(s.quantum)
 		}
+		if s.credits[s.cur] <= 0 {
+			s.credits[s.cur] = s.weights[s.cur]
+		}
 		s.cur = (s.cur + 1) % numBands
-		s.credits[s.cur] = s.weights[s.cur]
 	}
 	return s.takeStrict()
 }

@@ -357,6 +357,80 @@ func TestShedReturnsErrSaturated(t *testing.T) {
 	}
 }
 
+// TestSchedArrivalStaysCompacted guards against the dispatch-path
+// leak: arrival was only compacted by head(), which the aging valve
+// calls solely for bands *below* the first non-empty one — so the
+// busiest band (and every band when aging is disabled) pinned each
+// dispatched item forever. take() now compacts every band, keeping
+// arrival bounded by pending items.
+func TestSchedArrivalStaysCompacted(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	for _, policy := range []string{PolicyStrict, PolicyWeighted} {
+		// promoteAfter 0 disables aging — the worst case for the leak.
+		s := newSchedQueue(policy, [3]int{8, 4, 1}, 1, 0)
+		for i := 0; i < 1000; i++ {
+			s.add("op", "client", 1, now)
+			if _, ok := s.take(now); !ok {
+				t.Fatalf("[%s] take on non-empty queue reported empty", policy)
+			}
+		}
+		b := &s.bands[1]
+		if len(b.arrival) != 0 || b.astart != 0 {
+			t.Errorf("[%s] arrival not compacted after steady-state drain: len=%d astart=%d, want 0/0",
+				policy, len(b.arrival), b.astart)
+		}
+	}
+}
+
+// TestWeightedFirstTakeServesHigh guards the credit initialization:
+// credits used to start at zero and replenish only when the rotation
+// advanced into a band, so the very first take skipped the high band
+// and served lower-priority work ahead of queued high-priority work.
+func TestWeightedFirstTakeServesHigh(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	s := newSchedQueue(PolicyWeighted, [3]int{2, 1, 1}, 1, 0)
+	s.add("n", "c", bandIndex(core.PriorityNormal), now)
+	s.add("h", "c", bandIndex(core.PriorityHigh), now)
+	if id, ok := s.take(now); !ok || id != "h" {
+		t.Errorf("first weighted take = %q (ok=%v), want the high-band op", id, ok)
+	}
+}
+
+// TestBatchShedAccountsForSize checks the shed threshold is a hard
+// depth bound for batches too: a batch admitted just under shedAt must
+// not push the queue past it.
+func TestBatchShedAccountsForSize(t *testing.T) {
+	rec := &orderRecorder{}
+	e, started, release := gatedEngine(t, Config{
+		QueueDepth:    10,
+		ShedThreshold: 0.5, // shedAt = 5
+	}, rec)
+	startBlocker(t, e, started)
+
+	for i := 0; i < 3; i++ {
+		submitTag(t, e, "filler")
+	}
+	// Depth 3: a batch of 3 would land at 6 > shedAt, so it sheds whole.
+	over := []BatchItem{{Kind: "tag"}, {Kind: "tag"}, {Kind: "tag"}}
+	if _, err := e.SubmitBatch(context.Background(), over); !errors.Is(err, core.ErrSaturated) {
+		t.Fatalf("batch crossing shedAt = %v, want ErrSaturated", err)
+	}
+	// A batch of 2 lands exactly at shedAt and is admitted.
+	fits := []BatchItem{
+		{Kind: "tag", Params: map[string]any{"tag": "b1"}},
+		{Kind: "tag", Params: map[string]any{"tag": "b2"}},
+	}
+	if _, err := e.SubmitBatch(context.Background(), fits); err != nil {
+		t.Fatalf("batch landing at shedAt = %v, want admitted", err)
+	}
+	if _, err := e.Submit(context.Background(), "tag", nil); !errors.Is(err, core.ErrSaturated) {
+		t.Fatalf("submit at shedAt = %v, want ErrSaturated", err)
+	}
+
+	close(release)
+	drainTags(t, rec, 5)
+}
+
 // TestShedDisabledByDefault checks a default-config engine never sheds:
 // the queue hard-fills to ErrQueueFull exactly as before this layer.
 func TestShedDisabledByDefault(t *testing.T) {
