@@ -65,14 +65,16 @@ bench:
 bench-e2e:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -cpu=$(BENCHCPU) -run '^$$' ./internal/api/
 
-# Short coverage-guided fuzz runs over the cursor parsers (the
-# client-controlled values parsed into internal positions). One `go
-# test -fuzz` invocation accepts a single target, hence one line per
+# Short coverage-guided fuzz runs over the untrusted-input parsers:
+# the cursor values clients control, and the WAL replay path that
+# must survive arbitrary on-disk bytes after a crash. One `go test
+# -fuzz` invocation accepts a single target, hence one line per
 # fuzzer; seed corpora alone also run as normal tests under `make
 # test`.
 fuzz-smoke:
 	$(GO) test -fuzz '^FuzzNoticesCursor$$' -fuzztime=$(FUZZTIME) -run '^Fuzz' ./internal/api/
 	$(GO) test -fuzz '^FuzzListQueryCursor$$' -fuzztime=$(FUZZTIME) -run '^Fuzz' ./internal/api/
+	$(GO) test -fuzz '^FuzzWALReplay$$' -fuzztime=$(FUZZTIME) -run '^Fuzz' ./internal/engine/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

@@ -47,6 +47,12 @@ type daemonConfig struct {
 	promoteAfter    time.Duration
 	shedThreshold   float64
 	trustClientHdr  bool
+	store           string
+	walDir          string
+	walSync         string
+	walGroupWindow  time.Duration
+	walSegmentBytes int64
+	walMaxSegments  int
 }
 
 // parseBandWeights parses the -band-weights flag value: three comma-
@@ -85,6 +91,12 @@ func main() {
 	flag.IntVar(&cfg.drrQuantum, "drr-quantum", 1, "operations served per client per round-robin turn within a band")
 	flag.DurationVar(&cfg.promoteAfter, "promote-after", 5*time.Second, "age at which a starved lower-band operation is promoted; <0 disables aging")
 	flag.Float64Var(&cfg.shedThreshold, "shed-threshold", 0, "shed submissions with 429 once queue depth reaches this fraction of capacity (0,1); 0 disables shedding")
+	flag.StringVar(&cfg.store, "store", "memory", "operation store backend: memory (state dies with the process) or wal (persistent write-ahead log under -wal-dir with crash recovery)")
+	flag.StringVar(&cfg.walDir, "wal-dir", "", "write-ahead log directory, required with -store=wal; created if absent")
+	flag.StringVar(&cfg.walSync, "wal-sync", string(engine.WALSyncGroup), "wal fsync policy: always (fsync per mutation), group (one fsync per -wal-group-window batch; submissions wait, transitions are logged asynchronously), or none (never fsync)")
+	flag.DurationVar(&cfg.walGroupWindow, "wal-group-window", 2*time.Millisecond, "how long the wal committer accumulates a batch before its single write+fsync under -wal-sync=group")
+	flag.Int64Var(&cfg.walSegmentBytes, "wal-segment-bytes", 16<<20, "wal segment rotation size in bytes")
+	flag.IntVar(&cfg.walMaxSegments, "wal-max-segments", 8, "closed wal segments tolerated before snapshot compaction folds them")
 	flag.BoolVar(&cfg.trustClientHdr, "trust-client-header", true, "honour X-Client-Id for fair-queueing attribution; set false for untrusted clients (the header is unauthenticated, so a greedy client could mint fresh scheduler queues per request) to key on remote address only")
 	flag.Parse()
 
@@ -109,10 +121,32 @@ func run(cfg daemonConfig) error {
 		}
 	}
 	var store engine.Store
-	if cfg.storeShards <= 1 {
-		store = engine.NewMemStore()
-	} else {
-		store = engine.NewShardedStore(cfg.storeShards)
+	var walStore *engine.WALStore
+	switch cfg.store {
+	case "memory":
+		if cfg.storeShards <= 1 {
+			store = engine.NewMemStore()
+		} else {
+			store = engine.NewShardedStore(cfg.storeShards)
+		}
+	case "wal":
+		if cfg.walDir == "" {
+			return fmt.Errorf("-store=wal requires -wal-dir")
+		}
+		ws, err := engine.OpenWALStore(engine.WALConfig{
+			Dir:          cfg.walDir,
+			Sync:         engine.WALSyncMode(cfg.walSync),
+			GroupWindow:  cfg.walGroupWindow,
+			SegmentBytes: cfg.walSegmentBytes,
+			MaxSegments:  cfg.walMaxSegments,
+			Shards:       cfg.storeShards,
+		})
+		if err != nil {
+			return fmt.Errorf("opening wal store: %w", err)
+		}
+		store, walStore = ws, ws
+	default:
+		return fmt.Errorf("unknown -store %q (want memory or wal)", cfg.store)
 	}
 	eng := engine.New(engine.Config{
 		Workers:         cfg.workers,
@@ -129,6 +163,20 @@ func run(cfg daemonConfig) error {
 		ShedThreshold:   cfg.shedThreshold,
 	})
 	registerBuiltins(eng)
+
+	// With a durable store, the replayed state may hold work from the
+	// previous process: requeue what never ran, fail what was running
+	// when it died. This must happen after handler registration and
+	// before the listener opens.
+	if walStore != nil {
+		requeued, interrupted, err := eng.Recover(context.Background())
+		if err != nil {
+			return fmt.Errorf("recovering operations from wal: %w", err)
+		}
+		if requeued > 0 || interrupted > 0 {
+			log.Printf("daemon: wal recovery requeued %d operations, failed %d interrupted ones", requeued, interrupted)
+		}
+	}
 
 	// The pprof endpoints live on their own listener so profiles can be
 	// pulled from a live soak without exposing them on the API address;
@@ -180,8 +228,8 @@ func run(cfg daemonConfig) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("daemon: listening on http://%s (workers=%d queue=%d shards=%d ttl=%s policy=%s shed=%g)",
-			cfg.addr, cfg.workers, cfg.queueDepth, cfg.storeShards, cfg.opTTL, cfg.queuePolicy, cfg.shedThreshold)
+		log.Printf("daemon: listening on http://%s (store=%s workers=%d queue=%d shards=%d ttl=%s policy=%s shed=%g)",
+			cfg.addr, cfg.store, cfg.workers, cfg.queueDepth, cfg.storeShards, cfg.opTTL, cfg.queuePolicy, cfg.shedThreshold)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
@@ -213,8 +261,16 @@ func run(cfg daemonConfig) error {
 	}
 	drainCtx, cancelDrain := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancelDrain()
-	if err := eng.Shutdown(drainCtx); err != nil {
-		return fmt.Errorf("draining engine: %w", err)
+	drainErr := eng.Shutdown(drainCtx)
+	// Close the log even after a failed drain: whatever terminal states
+	// the drain did record should survive the restart.
+	if walStore != nil {
+		if err := walStore.Close(); err != nil {
+			log.Printf("daemon: closing wal store: %v", err)
+		}
+	}
+	if drainErr != nil {
+		return fmt.Errorf("draining engine: %w", drainErr)
 	}
 	log.Print("daemon: drained cleanly")
 	return nil

@@ -25,7 +25,21 @@
 //   - acquiring a second shard lock while one is held, unless the
 //     acquisition ranges over the shard slice — the canonical
 //     all-shards pattern whose index order makes the ordering safe —
-//     and acquiring the same lock twice.
+//     and acquiring the same lock twice;
+//   - file I/O — os.File write methods and mutating os package
+//     functions, directly or through same-package callees — a disk
+//     write (worse, an fsync) under a policed lock serialises every
+//     operation on the shard behind a millisecond-scale syscall.
+//
+// The WAL's group-commit staging buffer (walBatch) is policed as a
+// nested-acquisition class: taking walBatch.mu while a storeShard lock
+// is held is the one sanctioned nesting (it is what keeps log order
+// equal to publish order), so the second-lock rule exempts it — but
+// the blocking and file-I/O rules apply under it unchanged, and it
+// must be innermost: acquiring any full-class lock while walBatch.mu
+// is held is flagged. The committer's contract is the same
+// detach-then-act shape as the watch hub's: detach the buffer under
+// walBatch.mu, perform the write+fsync after release.
 //
 // The analysis is function-local and approximates control flow by
 // source order: a lock is considered held from the acquisition site to
@@ -59,9 +73,38 @@ var policedTypes = map[string]bool{
 	"schedQueue":  true,
 }
 
+// nestedOKTypes names the struct types whose mu is policed (blocking
+// and file-I/O rules apply) but whose acquisition under a full-class
+// lock is sanctioned. They must be innermost: acquiring a full-class
+// lock while one of these is held is still flagged.
+var nestedOKTypes = map[string]bool{
+	"walBatch": true,
+}
+
 // storeInterface names the interface whose methods must not be called
 // under a shard lock.
 const storeInterface = "Store"
+
+// osWriteNames are the os package functions and os.File methods that
+// hit the filesystem with a mutation; calling any of them (directly or
+// transitively) under a policed lock is flagged. Reads are deliberately
+// absent — the policed sections never read files, and a page-cache read
+// is not the stall an fsync is.
+var osWriteNames = map[string]bool{
+	// *os.File methods.
+	"Write": true, "WriteString": true, "WriteAt": true,
+	"Sync": true, "ReadFrom": true,
+	// Package-level functions ("Truncate" is both).
+	"Truncate": true, "Create": true, "OpenFile": true,
+	"Rename": true, "Remove": true, "RemoveAll": true,
+	"WriteFile": true, "MkdirAll": true, "Mkdir": true,
+}
+
+// isOSWrite reports whether fn is one of the os package's mutating
+// filesystem entry points.
+func isOSWrite(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "os" && osWriteNames[fn.Name()]
+}
 
 func run(pass *lintkit.Pass) error {
 	acq := newAcquirerIndex(pass)
@@ -82,6 +125,9 @@ type lockOp struct {
 	path string
 	// acquire is true for Lock/RLock, false for Unlock/RUnlock.
 	acquire bool
+	// nested marks a nested-acquisition class lock (walBatch), exempt
+	// from the second-lock rule when taken under a full-class lock.
+	nested bool
 	// base is the root identifier of the path, used to recognise
 	// range-variable (all-shards) acquisitions.
 	base *ast.Ident
@@ -108,12 +154,17 @@ func classifyLockOp(pass *lintkit.Pass, call *ast.CallExpr) *lockOp {
 		return nil
 	}
 	owner := pass.TypesInfo.TypeOf(muSel.X)
-	if owner == nil || !policedTypes[lintkit.TypeName(owner)] {
+	if owner == nil {
+		return nil
+	}
+	name := lintkit.TypeName(owner)
+	if !policedTypes[name] && !nestedOKTypes[name] {
 		return nil
 	}
 	return &lockOp{
 		path:    types.ExprString(sel.X),
 		acquire: acquire,
+		nested:  nestedOKTypes[name],
 		base:    rootIdent(muSel.X),
 	}
 }
@@ -141,6 +192,8 @@ func rootIdent(expr ast.Expr) *ast.Ident {
 type heldLock struct {
 	// group marks an all-shards acquisition through a range variable.
 	group bool
+	// nested marks a nested-acquisition class lock (walBatch).
+	nested bool
 }
 
 // scanner walks one function body in source order, tracking held
@@ -214,7 +267,9 @@ func (s *scanner) scan(root ast.Node) {
 }
 
 // applyLockOp updates the held set for a Lock/Unlock call, flagging
-// double and unordered acquisitions.
+// double acquisitions, unordered shard pairs, and full-class
+// acquisitions under the innermost-only staging lock. Nested-class
+// acquisitions under a full lock are the sanctioned nesting and pass.
 func (s *scanner) applyLockOp(call *ast.CallExpr, op *lockOp) {
 	if !op.acquire {
 		delete(s.held, op.path)
@@ -227,18 +282,30 @@ func (s *scanner) applyLockOp(call *ast.CallExpr, op *lockOp) {
 		}
 		return
 	}
+	if op.nested {
+		// Sanctioned nesting: the staging lock may be taken under any
+		// full-class lock (log order must equal publish order); the
+		// blocking and file-I/O rules still police the section.
+		s.held[op.path] = &heldLock{nested: true}
+		return
+	}
 	if len(s.held) > 0 && !group {
-		for other := range s.held {
-			s.pass.Reportf(call.Pos(),
-				"acquiring %s while %s is held: multi-shard acquisition must range over the shard slice in canonical index order", op.path, other)
+		for other, h := range s.held {
+			if h.nested {
+				s.pass.Reportf(call.Pos(),
+					"acquiring %s while the staging lock %s is held: the staging lock must be innermost", op.path, other)
+			} else {
+				s.pass.Reportf(call.Pos(),
+					"acquiring %s while %s is held: multi-shard acquisition must range over the shard slice in canonical index order", op.path, other)
+			}
 			break
 		}
 	}
 	s.held[op.path] = &heldLock{group: group}
 }
 
-// checkCall flags calls that may block or re-enter the store while a
-// shard lock is held.
+// checkCall flags calls that may block, re-enter the store, or hit the
+// filesystem while a policed lock is held.
 func (s *scanner) checkCall(call *ast.CallExpr) {
 	if len(s.held) == 0 {
 		return
@@ -251,9 +318,8 @@ func (s *scanner) checkCall(call *ast.CallExpr) {
 				"call through function value %s inside a shard critical section: callbacks run arbitrary code under the lock", fun.Name)
 			return
 		}
-		if fn, ok := obj.(*types.Func); ok && s.acq.acquires(fn) {
-			s.pass.Reportf(call.Pos(),
-				"call to %s inside a shard critical section re-acquires a shard lock", fun.Name)
+		if fn, ok := obj.(*types.Func); ok {
+			s.checkCallee(call, fn, fun.Name)
 		}
 	case *ast.SelectorExpr:
 		if selection, ok := s.pass.TypesInfo.Selections[fun]; ok {
@@ -269,11 +335,49 @@ func (s *scanner) checkCall(call *ast.CallExpr) {
 				return
 			}
 		}
-		if fn, ok := s.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && s.acq.acquires(fn) {
-			s.pass.Reportf(call.Pos(),
-				"call to %s inside a shard critical section re-acquires a shard lock", fun.Sel.Name)
+		if fn, ok := s.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			s.checkCallee(call, fn, fun.Sel.Name)
 		}
 	}
+}
+
+// checkCallee applies the resolved-function rules at a call site under
+// a held lock: direct os writes, transitive lock re-acquisition, and
+// transitive file I/O.
+func (s *scanner) checkCallee(call *ast.CallExpr, fn *types.Func, name string) {
+	if isOSWrite(fn) {
+		for path := range s.held {
+			s.pass.Reportf(call.Pos(),
+				"%s inside the %s critical section: file I/O under a policed lock stalls every operation behind it; stage bytes under the lock, write after unlock", fn.FullName(), path)
+			return
+		}
+	}
+	fl := s.acq.flags(fn)
+	switch {
+	case fl&acqFull != 0:
+		s.pass.Reportf(call.Pos(),
+			"call to %s inside a shard critical section re-acquires a shard lock", name)
+	case fl&acqNested != 0 && s.heldNestedPath() != "":
+		s.pass.Reportf(call.Pos(),
+			"call to %s while the staging lock %s is held re-acquires it: self-deadlock", name, s.heldNestedPath())
+	}
+	if fl&acqIO != 0 {
+		for path := range s.held {
+			s.pass.Reportf(call.Pos(),
+				"call to %s inside the %s critical section performs file I/O: stage bytes under the lock, write after unlock", name, path)
+			return
+		}
+	}
+}
+
+// heldNestedPath returns the path of a held nested-class lock, or "".
+func (s *scanner) heldNestedPath() string {
+	for path, h := range s.held {
+		if h.nested {
+			return path
+		}
+	}
+	return ""
 }
 
 // reportHeld reports a blocking operation if any policed lock is held.
@@ -301,19 +405,38 @@ func selectHasDefault(sel *ast.SelectStmt) bool {
 	return false
 }
 
-// acquirerIndex answers "does calling this package-level function
-// acquire a policed lock?", transitively through same-package calls.
+// acqFlags describes what calling a function does, transitively
+// through same-package callees.
+type acqFlags uint8
+
+const (
+	// acqFull: acquires a full-class policed lock (storeShard and
+	// friends) — calling it under any policed lock risks re-entrant
+	// deadlock.
+	acqFull acqFlags = 1 << iota
+	// acqNested: acquires a nested-class lock (walBatch) — dangerous
+	// only when that same class is already held, since taking it under
+	// a full-class lock is the sanctioned nesting.
+	acqNested
+	// acqIO: performs a mutating os filesystem call — never allowed
+	// under a policed lock.
+	acqIO
+)
+
+// acquirerIndex answers "what does calling this package-level function
+// do?" — policed lock acquisitions and file I/O, transitively through
+// same-package calls.
 type acquirerIndex struct {
 	pass  *lintkit.Pass
 	decls map[*types.Func]*ast.FuncDecl
-	memo  map[*types.Func]bool
+	memo  map[*types.Func]acqFlags
 }
 
 func newAcquirerIndex(pass *lintkit.Pass) *acquirerIndex {
 	idx := &acquirerIndex{
 		pass:  pass,
 		decls: make(map[*types.Func]*ast.FuncDecl),
-		memo:  make(map[*types.Func]bool),
+		memo:  make(map[*types.Func]acqFlags),
 	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
@@ -327,33 +450,37 @@ func newAcquirerIndex(pass *lintkit.Pass) *acquirerIndex {
 	return idx
 }
 
-// acquires reports whether fn (directly or through same-package
-// callees) acquires a policed shard lock. Unknown functions — other
-// packages, interface methods — report false; the Store-interface rule
-// covers the pluggable path separately.
-func (idx *acquirerIndex) acquires(fn *types.Func) bool {
+// flags reports what fn (directly or through same-package callees)
+// acquires and whether it touches the filesystem. Unknown functions —
+// other packages, interface methods — report nothing; the
+// Store-interface rule covers the pluggable path and isOSWrite the
+// direct os calls.
+func (idx *acquirerIndex) flags(fn *types.Func) acqFlags {
 	if got, ok := idx.memo[fn]; ok {
 		return got
 	}
 	decl, ok := idx.decls[fn]
 	if !ok {
-		return false
+		return 0
 	}
 	// Break recursion cycles pessimistically: a cycle that locks is
 	// caught at the member that locks directly.
-	idx.memo[fn] = false
-	result := false
+	idx.memo[fn] = 0
+	var result acqFlags
 	ast.Inspect(decl.Body, func(n ast.Node) bool {
-		if result {
-			return false
-		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		if op := classifyLockOp(idx.pass, call); op != nil && op.acquire {
-			result = true
-			return false
+		if op := classifyLockOp(idx.pass, call); op != nil {
+			if op.acquire {
+				if op.nested {
+					result |= acqNested
+				} else {
+					result |= acqFull
+				}
+			}
+			return true
 		}
 		var callee types.Object
 		switch fun := call.Fun.(type) {
@@ -362,9 +489,12 @@ func (idx *acquirerIndex) acquires(fn *types.Func) bool {
 		case *ast.SelectorExpr:
 			callee = idx.pass.TypesInfo.Uses[fun.Sel]
 		}
-		if cf, ok := callee.(*types.Func); ok && cf != fn && idx.acquires(cf) {
-			result = true
-			return false
+		if cf, ok := callee.(*types.Func); ok {
+			if isOSWrite(cf) {
+				result |= acqIO
+			} else if cf != fn {
+				result |= idx.flags(cf)
+			}
 		}
 		return true
 	})

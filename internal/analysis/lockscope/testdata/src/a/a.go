@@ -2,7 +2,10 @@
 // replica of the engine's shard shapes.
 package a
 
-import "sync"
+import (
+	"os"
+	"sync"
+)
 
 // storeShard mirrors the engine's shard: its name is what makes the
 // mu critical sections policed.
@@ -237,6 +240,103 @@ func sampleThenAdd(q *schedQueue, tokens chan struct{}, id string) {
 	q.items = append(q.items, id)
 	q.mu.Unlock()
 	tokens <- struct{}{}
+}
+
+// walBatch mirrors the WAL's group-commit staging buffer: the
+// nested-acquisition class. Taking it under a shard lock is the one
+// sanctioned nesting; blocking and file I/O under it are still flagged,
+// and it must be innermost.
+type walBatch struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// fsyncUnderShardLock performs the fsync inside the shard critical
+// section — the stall the WAL's group commit exists to avoid.
+func fsyncUnderShardLock(sh *storeShard, f *os.File) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f.Sync() // want `\(\*os\.File\)\.Sync inside the sh\.mu critical section: file I/O under a policed lock`
+}
+
+// renameUnderBatchLock mutates the filesystem while holding the
+// staging lock every writer needs to board the batch.
+func renameUnderBatchLock(b *walBatch) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	os.Rename("a", "b") // want `os\.Rename inside the b\.mu critical section: file I/O under a policed lock`
+}
+
+// stage mirrors wal.enqueue: append to the staging buffer under the
+// batch lock, no file I/O. Calling it under a shard lock is the
+// sanctioned nesting.
+func stage(b *walBatch, rec []byte) {
+	b.mu.Lock()
+	b.buf = append(b.buf, rec...)
+	b.mu.Unlock()
+}
+
+// applyAndStage is the WALStore mutation shape: publish to the index
+// and stage the record inside the same shard critical section. Clean —
+// stage acquires only the nested-class lock.
+func applyAndStage(sh *storeShard, b *walBatch, rec []byte) {
+	sh.mu.Lock()
+	sh.ops["x"] = 1
+	stage(b, rec)
+	sh.mu.Unlock()
+}
+
+// inlineNestedStage takes the batch lock directly under the shard
+// lock — the same sanctioned nesting, spelled inline.
+func inlineNestedStage(sh *storeShard, b *walBatch, rec []byte) {
+	sh.mu.Lock()
+	sh.ops["x"] = 1
+	b.mu.Lock()
+	b.buf = append(b.buf, rec...)
+	b.mu.Unlock()
+	sh.mu.Unlock()
+}
+
+// shardLockUnderBatch inverts the sanctioned order: the staging lock
+// must be innermost, or boarding writers (who hold shard locks) and
+// this path deadlock against each other.
+func shardLockUnderBatch(sh *storeShard, b *walBatch) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sh.mu.Lock() // want `acquiring sh\.mu while the staging lock b\.mu is held: the staging lock must be innermost`
+	sh.mu.Unlock()
+}
+
+// stageUnderBatchLock re-enters the staging lock it already holds.
+func stageUnderBatchLock(b *walBatch, rec []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	stage(b, rec) // want `call to stage while the staging lock b\.mu is held re-acquires it: self-deadlock`
+}
+
+// spill writes the buffer to disk — fine on the committer goroutine
+// with no locks held, flagged transitively when called under one.
+func spill(path string, buf []byte) error {
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// spillUnderShardLock reaches the filesystem through a same-package
+// helper while holding the shard lock.
+func spillUnderShardLock(sh *storeShard, buf []byte) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	spill("x", buf) // want `call to spill inside the sh\.mu critical section performs file I/O`
+}
+
+// detachThenSpill is the committer's sanctioned shape: detach the
+// buffer under the staging lock, perform the write+fsync after unlock.
+func detachThenSpill(b *walBatch, f *os.File) {
+	b.mu.Lock()
+	buf := b.buf
+	b.buf = nil
+	b.mu.Unlock()
+	f.Write(buf)
+	f.Sync()
 }
 
 // unpolicedMutex guards a type outside the policed set; lockscope does

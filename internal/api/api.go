@@ -79,6 +79,10 @@ func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 		"store_len":      st.StoreLen,
 		"watch_waiters":  st.WatchWaiters,
 		"last_notice":    st.LastNotice,
+		"durable":        st.Durable,
+		"wal_segments":   st.WALSegments,
+		"wal_batch_p50":  st.WALBatchP50,
+		"fsyncs_per_sec": st.FsyncsPerSec,
 	})
 }
 

@@ -206,3 +206,43 @@ func BenchmarkAPIListCursor(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAPISubmitBatch10WAL is the durable end-to-end path: the
+// same batch-of-10 submission as BenchmarkAPISubmitBatch10 but with
+// the engine running on the WAL store (`-store=wal`), so each request
+// pays admission durability. group is the shipping default; always is
+// the per-mutation-fsync comparison point. Compare against the
+// in-memory rows above for the durability tax at the API layer.
+func BenchmarkAPISubmitBatch10WAL(b *testing.B) {
+	for _, mode := range []engine.WALSyncMode{engine.WALSyncGroup, engine.WALSyncAlways} {
+		b.Run(string(mode), func(b *testing.B) {
+			st, err := engine.OpenWALStore(engine.WALConfig{Dir: b.TempDir(), Sync: mode})
+			if err != nil {
+				b.Fatalf("OpenWALStore: %v", err)
+			}
+			b.Cleanup(func() {
+				if err := st.Close(); err != nil {
+					b.Errorf("WALStore.Close: %v", err)
+				}
+			})
+			s, _ := newBenchServer(b, st)
+			body := "[" + strings.Repeat(`{"kind":"noop"},`, 9) + `{"kind":"noop"}]`
+			rejected := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				switch w := serve(s, "POST", "/v1/operations", body); w.Code {
+				case http.StatusAccepted:
+				case http.StatusTooManyRequests:
+					rejected++
+				default:
+					b.Fatalf("batch submit returned %d: %s", w.Code, w.Body.String())
+				}
+			}
+			b.StopTimer()
+			if rejected > 0 {
+				b.ReportMetric(float64(rejected), "429s")
+			}
+		})
+	}
+}

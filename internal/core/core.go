@@ -193,6 +193,13 @@ var (
 	// engine use it to tell a requested cancel from a shutdown or
 	// deadline.
 	ErrCancelled = errors.New("operation cancelled")
+	// ErrInterrupted is the failure cause recovery records on
+	// operations that were running when the previous daemon process
+	// exited: their handlers' in-memory progress is gone, so after a
+	// restart the durable store replays them as running and the engine
+	// settles them as failed with this cause instead of silently
+	// re-executing half-done work.
+	ErrInterrupted = errors.New("operation interrupted by daemon restart")
 )
 
 // InvalidError describes a request that is malformed before it ever

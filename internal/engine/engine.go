@@ -315,6 +315,25 @@ type Stats struct {
 	// DrainPerSec is the observed dequeue rate over the trailing
 	// window, the denominator of Retry-After.
 	DrainPerSec float64 `json:"drain_per_sec"`
+	// Durable reports whether the store persists state across
+	// restarts (a WAL backend). The WAL fields below are zero when it
+	// is false.
+	Durable bool `json:"durable"`
+	// WALSegments is the number of live log segment files.
+	WALSegments int `json:"wal_segments"`
+	// WALBatchP50 is the median records per group commit over recent
+	// commits — how much work each fsync amortises.
+	WALBatchP50 float64 `json:"wal_batch_p50"`
+	// FsyncsPerSec is the WAL's observed fsync rate over the trailing
+	// window.
+	FsyncsPerSec float64 `json:"fsyncs_per_sec"`
+}
+
+// durableStore is the optional extension a persistent Store
+// implements; Stats surfaces its counters when the engine's store has
+// them.
+type durableStore interface {
+	WALStats() WALStats
 }
 
 // Stats reports queue and store saturation. QueueDepth counts reserved
@@ -323,7 +342,7 @@ type Stats struct {
 func (e *Engine) Stats() Stats {
 	bands, clients := e.sched.depths()
 	depth := len(e.slots)
-	return Stats{
+	st := Stats{
 		Workers:       e.workers,
 		QueueDepth:    depth,
 		QueueCapacity: cap(e.slots),
@@ -336,6 +355,14 @@ func (e *Engine) Stats() Stats {
 		ShedAt:        e.shedAt,
 		DrainPerSec:   e.meter.rate(e.clock()),
 	}
+	if ds, ok := e.store.(durableStore); ok {
+		ws := ds.WALStats()
+		st.Durable = true
+		st.WALSegments = ws.Segments
+		st.WALBatchP50 = ws.BatchP50
+		st.FsyncsPerSec = ws.FsyncsPerSec
+	}
+	return st
 }
 
 // retryCeiling bounds RetryAfter so shed clients never back off for
@@ -709,6 +736,66 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 			return ctx.Err()
 		}
 	}
+}
+
+// Recover re-arms the work a freshly opened durable store replayed:
+// operations recorded as queued are re-enqueued for dispatch (oldest
+// first, so recovered work keeps its original ordering), and
+// operations recorded as running are settled as failed with
+// core.ErrInterrupted — their handlers' in-memory progress died with
+// the previous process, and silently re-executing half-done work is
+// worse than an honest failure the client can retry. Call it once,
+// after New and handler registration, before serving traffic. It
+// returns how many operations were requeued and how many were marked
+// interrupted; recovered queued work that no longer fits the queue is
+// also marked interrupted rather than dropped. The context bounds the
+// walk, not the recovered operations' execution.
+func (e *Engine) Recover(ctx context.Context) (requeued, interrupted int, err error) {
+	ops, err := e.store.List(ListQuery{})
+	if err != nil {
+		return 0, 0, fmt.Errorf("listing store for recovery: %w", err)
+	}
+	// List is newest-first; walk backwards so requeueing preserves the
+	// original submission order within each band.
+	for i := len(ops) - 1; i >= 0; i-- {
+		if cerr := ctx.Err(); cerr != nil {
+			return requeued, interrupted, cerr
+		}
+		op := ops[i]
+		switch op.Status {
+		case core.StatusRunning:
+			if e.transition(op.ID, core.StatusFailed, nil, core.ErrInterrupted) {
+				interrupted++
+			}
+		case core.StatusQueued:
+			e.mu.Lock()
+			if e.closed {
+				e.mu.Unlock()
+				return requeued, interrupted, core.ErrShuttingDown
+			}
+			select {
+			case e.slots <- struct{}{}:
+				// Slot reserved, so the token send cannot block — the
+				// same invariant SubmitBatch relies on.
+				e.sched.add(op.ID, op.Client, bandIndex(op.Priority), e.clock())
+				e.tokens <- struct{}{}
+				e.mu.Unlock()
+				requeued++
+				// Re-announce the queued operation in the (empty after
+				// restart) notices feed, mirroring SubmitBatch's birth
+				// notice.
+				e.notices.append(op.ID, op.Kind, core.StatusQueued, op.CreatedAt)
+			default:
+				e.mu.Unlock()
+				// More recovered work than queue capacity; failing the
+				// overflow honestly beats dropping it silently.
+				if e.transition(op.ID, core.StatusFailed, nil, core.ErrInterrupted) {
+					interrupted++
+				}
+			}
+		}
+	}
+	return requeued, interrupted, nil
 }
 
 // janitor periodically evicts expired terminal operations until

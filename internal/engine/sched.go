@@ -216,9 +216,9 @@ type schedQueue struct {
 // engine.New (policy a known constant, quantum >= 1, weights >= 1).
 func newSchedQueue(policy string, weights [numBands]int, quantum int, promoteAfter time.Duration) *schedQueue {
 	s := &schedQueue{
-		quantum:      quantum,
-		weighted:     policy == PolicyWeighted,
-		weights:      weights,
+		quantum:  quantum,
+		weighted: policy == PolicyWeighted,
+		weights:  weights,
 		// Credits start full so the very first take serves the highest
 		// band rather than skipping it while the rotation warms up.
 		credits:      weights,

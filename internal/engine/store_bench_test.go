@@ -173,6 +173,127 @@ func BenchmarkStorePutBatch(b *testing.B) {
 	}
 }
 
+// walBenchModes are the sync policies the WAL benchmarks compare:
+// always is the per-write fsync floor, group is the group-commit
+// design point, none isolates the framing/staging overhead from disk.
+var walBenchModes = []WALSyncMode{WALSyncAlways, WALSyncGroup, WALSyncNone}
+
+// openBenchWAL builds a WAL store in a fresh per-benchmark directory.
+func openBenchWAL(b *testing.B, mode WALSyncMode) *WALStore {
+	b.Helper()
+	s, err := OpenWALStore(WALConfig{Dir: b.TempDir(), Sync: mode})
+	if err != nil {
+		b.Fatalf("OpenWALStore: %v", err)
+	}
+	b.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			b.Errorf("WALStore.Close: %v", err)
+		}
+	})
+	return s
+}
+
+// BenchmarkStoreWALPut measures the single-writer durable admission
+// path per sync mode. always pays a full fsync round trip per op
+// (group commit cannot amortise a lone writer); compare against
+// BenchmarkStoreGetPut's in-memory floor for the durability tax.
+func BenchmarkStoreWALPut(b *testing.B) {
+	for _, mode := range walBenchModes {
+		b.Run(string(mode), func(b *testing.B) {
+			s := openBenchWAL(b, mode)
+			ops := prepopulate(s, 1024)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Put(ops[i%len(ops)])
+			}
+		})
+	}
+}
+
+// BenchmarkStoreWALPutParallel is the group-commit demonstration:
+// concurrent writers board the same batch and share one fsync, so
+// group's per-op cost collapses toward always's divided by the batch
+// size while always still serialises one fsync per generation.
+func BenchmarkStoreWALPutParallel(b *testing.B) {
+	for _, mode := range walBenchModes {
+		b.Run(string(mode), func(b *testing.B) {
+			s := openBenchWAL(b, mode)
+			ops := prepopulate(s, 4096)
+			var next atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(next.Add(1)) * 31
+				for pb.Next() {
+					s.Put(ops[i%len(ops)])
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreWALUpdateParallel measures contended transitions
+// against the log. Under group mode updates do not wait for the fsync
+// (recovery semantics absorb the loss window), so this should track
+// the in-memory BenchmarkStoreUpdateParallel plus encoding cost.
+func BenchmarkStoreWALUpdateParallel(b *testing.B) {
+	for _, mode := range walBenchModes {
+		b.Run(string(mode), func(b *testing.B) {
+			s := openBenchWAL(b, mode)
+			ops := prepopulate(s, 4096)
+			var next atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(next.Add(1)) * 31
+				for pb.Next() {
+					op := ops[i%len(ops)]
+					i++
+					err := s.Update(op.ID, func(op *core.Operation) {
+						op.UpdatedAt = op.UpdatedAt.Add(time.Nanosecond)
+					})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkWALRecovery measures boot-time replay: open a log holding
+// 100k operations, rebuild the index, close. This is the cost a
+// restart pays and the number BENCH_9.json tracks; compaction exists
+// to bound it.
+func BenchmarkWALRecovery(b *testing.B) {
+	const n = 100_000
+	dir := b.TempDir()
+	s, err := OpenWALStore(WALConfig{Dir: dir, Sync: WALSyncNone})
+	if err != nil {
+		b.Fatalf("OpenWALStore: %v", err)
+	}
+	prepopulate(s, n)
+	if err := s.Close(); err != nil {
+		b.Fatalf("Close: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := OpenWALStore(WALConfig{Dir: dir, Sync: WALSyncNone})
+		if err != nil {
+			b.Fatalf("OpenWALStore (recovery): %v", err)
+		}
+		if r.Len() != n {
+			b.Fatalf("recovered %d ops, want %d", r.Len(), n)
+		}
+		if err := r.Close(); err != nil {
+			b.Fatalf("Close: %v", err)
+		}
+	}
+}
+
 // BenchmarkStoreList measures a snapd-style poll page — limit=50,
 // newest first — at growing store sizes. The ordered per-shard index
 // makes both time and allocations independent of store size; compare

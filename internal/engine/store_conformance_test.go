@@ -17,24 +17,49 @@ import (
 	"opdaemon/internal/core"
 )
 
-// storeImpls enumerates every Store implementation under test.
-func storeImpls() []struct {
+// storeImpls enumerates every Store implementation under test: the
+// in-memory stores plus the durable WAL store, which must satisfy the
+// identical contract (its read path IS the sharded store; the log is
+// invisible to the interface). The WAL variants get a per-test
+// directory and a Close at cleanup; the group variant runs with a tiny
+// window so durability waits don't dominate the suite's runtime.
+func storeImpls(t testing.TB) []struct {
 	name string
-	mk   func() Store
+	mk   func(t testing.TB) Store
 } {
+	mkWAL := func(sync WALSyncMode) func(t testing.TB) Store {
+		return func(t testing.TB) Store {
+			s, err := OpenWALStore(WALConfig{
+				Dir:         t.TempDir(),
+				Sync:        sync,
+				GroupWindow: 500 * time.Microsecond,
+			})
+			if err != nil {
+				t.Fatalf("OpenWALStore: %v", err)
+			}
+			t.Cleanup(func() {
+				if err := s.Close(); err != nil {
+					t.Errorf("WALStore.Close: %v", err)
+				}
+			})
+			return s
+		}
+	}
 	return []struct {
 		name string
-		mk   func() Store
+		mk   func(t testing.TB) Store
 	}{
-		{"mem", NewMemStore},
-		{"sharded-1", func() Store { return NewShardedStore(1) }},
-		{"sharded-8", func() Store { return NewShardedStore(8) }},
-		{"sharded-default", func() Store { return NewShardedStore(0) }},
+		{"mem", func(testing.TB) Store { return NewMemStore() }},
+		{"sharded-1", func(testing.TB) Store { return NewShardedStore(1) }},
+		{"sharded-8", func(testing.TB) Store { return NewShardedStore(8) }},
+		{"sharded-default", func(testing.TB) Store { return NewShardedStore(0) }},
+		{"wal-none", mkWAL(WALSyncNone)},
+		{"wal-group", mkWAL(WALSyncGroup)},
 	}
 }
 
 func TestStoreConformance(t *testing.T) {
-	for _, impl := range storeImpls() {
+	for _, impl := range storeImpls(t) {
 		t.Run(impl.name, func(t *testing.T) {
 			runStoreConformance(t, impl.mk)
 		})
@@ -74,18 +99,18 @@ func listIDs(ops []*core.Operation) []string {
 
 // runStoreConformance runs the full contract against fresh stores from
 // mk.
-func runStoreConformance(t *testing.T, mk func() Store) {
+func runStoreConformance(t *testing.T, mk func(t testing.TB) Store) {
 	t0 := time.Unix(1000, 0)
 
 	t.Run("GetNotFound", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		if _, err := s.Get("missing"); !errors.Is(err, core.ErrNotFound) {
 			t.Errorf("Get(missing) = %v, want ErrNotFound", err)
 		}
 	})
 
 	t.Run("UpdateNotFound", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		err := s.Update("missing", func(*core.Operation) { t.Error("fn called for missing op") })
 		if !errors.Is(err, core.ErrNotFound) {
 			t.Errorf("Update(missing) = %v, want ErrNotFound", err)
@@ -97,7 +122,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	// a previously returned pointer, because Update publishes a fresh
 	// copy instead of mutating in place.
 	t.Run("PublishedSnapshotsAreImmutable", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		s.Put(mkOp("a", t0))
 		before, err := s.Get("a")
 		if err != nil {
@@ -127,7 +152,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	})
 
 	t.Run("PutBatchStoresAll", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		ops := make([]*core.Operation, 10)
 		for i := range ops {
 			ops[i] = mkOp(fmt.Sprintf("op-%02d", i), t0.Add(time.Duration(i)*time.Second))
@@ -148,7 +173,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	})
 
 	t.Run("PutReplaces", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		s.Put(mkOp("a", t0))
 		replacement := mkOp("a", t0)
 		replacement.Status = core.StatusRunning
@@ -166,7 +191,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	})
 
 	t.Run("PutReplaceWithNewCreatedAtReorders", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		s.Put(mkOp("a", t0))
 		s.Put(mkOp("b", t0.Add(time.Second)))
 		// Re-put a with a newer CreatedAt: the index entry must move,
@@ -182,7 +207,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	})
 
 	t.Run("ListNewestFirst", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		// Insert out of order; two share a CreatedAt to exercise the
 		// ID tie-break.
 		s.Put(mkOp("mid-b", t0.Add(time.Second)))
@@ -196,7 +221,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	})
 
 	t.Run("ListLimit", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		for i := 0; i < 5; i++ {
 			s.Put(mkOp(fmt.Sprintf("op-%d", i), t0.Add(time.Duration(i)*time.Second)))
 		}
@@ -213,7 +238,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	})
 
 	t.Run("ListStatusFilter", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		for i := 0; i < 6; i++ {
 			op := mkOp(fmt.Sprintf("op-%d", i), t0.Add(time.Duration(i)*time.Second))
 			if i%2 == 0 {
@@ -235,7 +260,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	})
 
 	t.Run("CursorPagination", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		const n = 7
 		for i := 0; i < n; i++ {
 			s.Put(mkOp(fmt.Sprintf("op-%d", i), t0.Add(time.Duration(i)*time.Second)))
@@ -272,7 +297,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	})
 
 	t.Run("CursorWithTies", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		// All four share CreatedAt; order is ascending ID, and a
 		// cursor in the middle of the tie must not skip or repeat.
 		for _, id := range []string{"c", "a", "d", "b"} {
@@ -288,7 +313,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	})
 
 	t.Run("CursorWithStatusFilter", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		for i := 0; i < 6; i++ {
 			op := mkOp(fmt.Sprintf("op-%d", i), t0.Add(time.Duration(i)*time.Second))
 			if i%2 == 0 {
@@ -308,7 +333,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	})
 
 	t.Run("CursorUnknownYieldsEmptyPage", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		s.Put(mkOp("a", t0))
 		page, err := s.List(ListQuery{Cursor: "never-existed", Limit: 5})
 		if err != nil {
@@ -320,7 +345,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	})
 
 	t.Run("CursorToleratesEviction", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		cutoff := t0.Add(time.Minute)
 		for i := 0; i < 6; i++ {
 			op := mkOp(fmt.Sprintf("op-%d", i), t0.Add(time.Duration(i)*time.Second))
@@ -353,7 +378,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	})
 
 	t.Run("UpdateDoesNotReorder", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		for i := 0; i < 4; i++ {
 			s.Put(mkOp(fmt.Sprintf("op-%d", i), t0.Add(time.Duration(i)*time.Second)))
 		}
@@ -371,7 +396,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	})
 
 	t.Run("UpdateAtomicUnderContention", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		s.Put(mkOp("ctr", t0))
 		const goroutines, updates = 8, 200
 		var wg sync.WaitGroup
@@ -408,7 +433,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 		// Pagination while workers transition: pages must always be
 		// well-formed (no nils, no duplicates, correct order), and old
 		// pages must stay internally consistent.
-		s := mk()
+		s := mk(t)
 		const n = 64
 		for i := 0; i < n; i++ {
 			s.Put(mkOp(fmt.Sprintf("op-%02d", i), t0.Add(time.Duration(i)*time.Second)))
@@ -461,7 +486,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	})
 
 	t.Run("DeleteIdempotent", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		s.Put(mkOp("a", t0))
 		s.Delete("a")
 		if _, err := s.Get("a"); !errors.Is(err, core.ErrNotFound) {
@@ -475,7 +500,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	})
 
 	t.Run("DeleteDecrementsLen", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		const n = 10
 		for i := 0; i < n; i++ {
 			s.Put(mkOp(fmt.Sprintf("op-%02d", i), t0.Add(time.Duration(i))))
@@ -496,7 +521,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 		// update others; hammer one ID from both sides. Every Update
 		// must either apply atomically or report ErrNotFound — never
 		// panic, deadlock, or resurrect the deleted operation.
-		s := mk()
+		s := mk(t)
 		const rounds = 100
 		for r := 0; r < rounds; r++ {
 			id := fmt.Sprintf("op-%03d", r)
@@ -530,7 +555,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	})
 
 	t.Run("SweepTerminalBefore", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		mkAt := func(id string, status core.Status, at time.Time) {
 			op := mkOp(id, t0)
 			op.Status = status
@@ -570,7 +595,7 @@ func runStoreConformance(t *testing.T, mk func() Store) {
 	})
 
 	t.Run("LenCountsEverything", func(t *testing.T) {
-		s := mk()
+		s := mk(t)
 		const n = 100
 		for i := 0; i < n; i++ {
 			s.Put(mkOp(fmt.Sprintf("op-%03d", i), t0.Add(time.Duration(i))))

@@ -1,0 +1,148 @@
+package engine
+
+// The WAL record codec: a self-describing framed byte format shared by
+// log segments and snapshots, so one replay routine (and one fuzz
+// target) covers both.
+//
+// Each frame is
+//
+//	| length uint32 LE | crc32 uint32 LE | payload (length bytes) |
+//
+// where payload is one record-type byte followed by the record body and
+// the checksum (IEEE CRC32) covers the whole payload. The length prefix
+// makes frames skippable without parsing bodies; the checksum makes a
+// torn or bit-flipped tail detectable, which is what lets recovery
+// truncate at the first bad frame instead of guessing.
+//
+// Record bodies are JSON for put/update (the operation's own wire
+// encoding, so the on-disk format tracks the API format by
+// construction) and the raw ID bytes for delete. Replay treats put and
+// update identically — both are idempotent upserts keyed by ID — so
+// re-applying an overlapping snapshot + segment suffix converges on the
+// same state.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"opdaemon/internal/core"
+)
+
+// WAL record types. The zero value is deliberately unused so an
+// all-zeroes torn frame can never masquerade as a valid record type.
+const (
+	walRecPut    byte = 1
+	walRecUpdate byte = 2
+	walRecDelete byte = 3
+)
+
+// walFrameHeader is the fixed per-frame overhead: 4-byte length plus
+// 4-byte checksum.
+const walFrameHeader = 8
+
+// walMaxRecordBytes bounds a single frame's payload. Real records are a
+// few hundred bytes; the bound exists so a corrupt (or fuzzed) length
+// field is rejected as a bad frame instead of driving a giant
+// allocation.
+const walMaxRecordBytes = 64 << 20
+
+// Sentinel replay failures. Both mean "the valid prefix ends here";
+// they differ only in what the bytes after it look like, which recovery
+// reports but handles the same way.
+var (
+	// errWALTorn means the data ends mid-frame — the classic crash
+	// mid-append shape.
+	errWALTorn = errors.New("wal: torn trailing frame")
+	// errWALCorrupt means a structurally complete frame failed its
+	// checksum or carried an impossible length or type.
+	errWALCorrupt = errors.New("wal: corrupt frame")
+)
+
+// appendWALFrame appends one framed record to dst and returns the
+// extended slice.
+func appendWALFrame(dst []byte, typ byte, body []byte) []byte {
+	var hdr [walFrameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)+1))
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(body)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc.Sum32())
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, typ)
+	return append(dst, body...)
+}
+
+// encodeOpRecord frames an operation snapshot as a put or update
+// record. Marshalling an Operation only fails if a handler smuggled an
+// unserialisable value into Params, which the API's JSON decoding makes
+// impossible in practice; callers degrade to memory-only for that one
+// record and log.
+func encodeOpRecord(typ byte, op *core.Operation) ([]byte, error) {
+	body, err := json.Marshal(op)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encoding operation %s: %w", op.ID, err)
+	}
+	return appendWALFrame(nil, typ, body), nil
+}
+
+// encodeDeleteRecord frames a deletion; the body is the raw ID.
+func encodeDeleteRecord(id string) []byte {
+	return appendWALFrame(nil, walRecDelete, []byte(id))
+}
+
+// walReplay walks the frames in data, invoking apply for each valid
+// record in order, and returns the byte length of the valid prefix.
+// Scanning stops at the first torn or corrupt frame (or at a record
+// apply refuses); everything before it has been applied, everything
+// from it on is untrusted. A clean walk to the end returns (len(data),
+// nil).
+func walReplay(data []byte, apply func(typ byte, body []byte) error) (int, error) {
+	pos := 0
+	for pos < len(data) {
+		if len(data)-pos < walFrameHeader {
+			return pos, errWALTorn
+		}
+		n := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+		if n < 1 || n > walMaxRecordBytes {
+			return pos, fmt.Errorf("%w: impossible payload length %d", errWALCorrupt, n)
+		}
+		if len(data)-pos-walFrameHeader < n {
+			return pos, errWALTorn
+		}
+		payload := data[pos+walFrameHeader : pos+walFrameHeader+n]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[pos+4:pos+8]) {
+			return pos, fmt.Errorf("%w: checksum mismatch", errWALCorrupt)
+		}
+		if err := apply(payload[0], payload[1:]); err != nil {
+			return pos, err
+		}
+		pos += walFrameHeader + n
+	}
+	return pos, nil
+}
+
+// applyWALRecord folds one decoded record into the replay state map:
+// put and update upsert, delete removes. It rejects records that
+// decode but make no sense (unknown type, empty ID) so replay treats
+// them as the end of the valid prefix.
+func applyWALRecord(state map[string]*core.Operation, typ byte, body []byte) error {
+	switch typ {
+	case walRecPut, walRecUpdate:
+		op := new(core.Operation)
+		if err := json.Unmarshal(body, op); err != nil {
+			return fmt.Errorf("%w: undecodable operation body: %v", errWALCorrupt, err)
+		}
+		if op.ID == "" {
+			return fmt.Errorf("%w: operation record without an id", errWALCorrupt)
+		}
+		state[op.ID] = op
+	case walRecDelete:
+		delete(state, string(body))
+	default:
+		return fmt.Errorf("%w: unknown record type %d", errWALCorrupt, typ)
+	}
+	return nil
+}

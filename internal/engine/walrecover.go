@@ -1,0 +1,138 @@
+package engine
+
+// Crash recovery for the WAL store: scan the directory, load the
+// newest snapshot, replay the segment suffix on top of it, and repair
+// the torn tail a crash mid-append leaves behind.
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"opdaemon/internal/core"
+)
+
+// walLayout describes what recovery found on disk, for newWAL to
+// continue from.
+type walLayout struct {
+	// segs are the surviving segment indexes, ascending. They stay
+	// live (and are replayed on the next open too) until compaction
+	// folds them into a snapshot.
+	segs []int
+	// snapSeg is the highest segment index the loaded snapshot covers,
+	// -1 when no snapshot was used.
+	snapSeg int
+	// maxSeg is the highest segment index ever observed (on disk or
+	// covered by a snapshot); the next segment opens at maxSeg+1 so
+	// indexes never repeat even across compactions.
+	maxSeg int
+}
+
+// recoverWALState rebuilds the operation state from dir: newest intact
+// snapshot first, then every segment newer than it in ascending order.
+// Replay stops at the first torn or corrupt frame; the file holding it
+// is truncated to its valid prefix and any later segments — which a
+// pure crash cannot produce, only real corruption — are deleted (loudly)
+// so that what remains on disk always equals the recovered state.
+func recoverWALState(dir string) (map[string]*core.Operation, walLayout, error) {
+	layout := walLayout{snapSeg: -1}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, layout, fmt.Errorf("wal: scanning %s: %w", dir, err)
+	}
+	var segs, snaps []int
+	for _, e := range entries {
+		var i int
+		switch {
+		case parseWALName(e.Name(), "wal-%08d.log", &i):
+			segs = append(segs, i)
+		case parseWALName(e.Name(), "snap-%08d.wal", &i):
+			snaps = append(snaps, i)
+		}
+	}
+	sort.Ints(segs)
+	sort.Ints(snaps)
+
+	state := make(map[string]*core.Operation)
+
+	// Try snapshots newest-first; a snapshot that fails to replay
+	// cleanly (which the atomic rename install should make impossible)
+	// is skipped entirely rather than half-applied.
+	for i := len(snaps) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, walSnapName(snaps[i]))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, layout, fmt.Errorf("wal: reading snapshot %s: %w", path, err)
+		}
+		trial := make(map[string]*core.Operation, len(state))
+		if _, rerr := walReplay(data, func(typ byte, body []byte) error {
+			return applyWALRecord(trial, typ, body)
+		}); rerr != nil {
+			log.Printf("engine: wal snapshot %s unusable (%v); falling back", path, rerr)
+			continue
+		}
+		state = trial
+		layout.snapSeg = snaps[i]
+		break
+	}
+	layout.maxSeg = layout.snapSeg
+
+	// Replay segments newer than the snapshot, oldest first. The first
+	// bad frame ends the trusted history: truncate there, drop
+	// anything after.
+	truncated := false
+	for _, seg := range segs {
+		if seg > layout.maxSeg {
+			layout.maxSeg = seg
+		}
+		if seg <= layout.snapSeg {
+			// Obsolete: its contents are inside the snapshot. Remove it now
+			// so the live set stays minimal.
+			if err := os.Remove(filepath.Join(dir, walSegName(seg))); err != nil {
+				return nil, layout, fmt.Errorf("wal: pruning covered segment %d: %w", seg, err)
+			}
+			continue
+		}
+		path := filepath.Join(dir, walSegName(seg))
+		if truncated {
+			log.Printf("engine: wal dropping segment %s: it follows a corrupt frame", path)
+			if err := os.Remove(path); err != nil {
+				return nil, layout, fmt.Errorf("wal: dropping segment %d: %w", seg, err)
+			}
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, layout, fmt.Errorf("wal: reading segment %s: %w", path, err)
+		}
+		valid, rerr := walReplay(data, func(typ byte, body []byte) error {
+			return applyWALRecord(state, typ, body)
+		})
+		layout.segs = append(layout.segs, seg)
+		if rerr != nil {
+			log.Printf("engine: wal segment %s: %v at offset %d; truncating to valid prefix", path, rerr, valid)
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return nil, layout, fmt.Errorf("wal: truncating torn segment %d: %w", seg, err)
+			}
+			truncated = true
+		}
+	}
+	return state, layout, nil
+}
+
+// parseWALName matches a directory entry against a wal file pattern,
+// requiring an exact round-trip so stray files (snap.tmp, editor
+// droppings) are ignored.
+func parseWALName(name, pattern string, i *int) bool {
+	var n int
+	if _, err := fmt.Sscanf(name, pattern, &n); err != nil {
+		return false
+	}
+	if fmt.Sprintf(pattern, n) != name {
+		return false
+	}
+	*i = n
+	return true
+}

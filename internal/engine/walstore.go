@@ -1,0 +1,353 @@
+package engine
+
+// WALStore is the durable Store: the in-memory sharded store for the
+// unchanged read path (0-alloc Get, O(limit) cursor List) layered over
+// the append-only log in wal.go for persistence.
+//
+// The one invariant that shapes every mutation below: the log must
+// record mutations in the same per-ID order the memory index publishes
+// them, or replay could resurrect a stale state. Each mutation
+// therefore stages its encoded record into the WAL batch buffer while
+// still holding the shard's write lock — apply and enqueue are atomic
+// per record. That nests walBatch.mu inside storeShard.mu (the one
+// sanctioned lock nesting, policed by lockscope), and it is why writers
+// never touch the file themselves: file I/O under a shard lock would
+// stall every operation on the shard for an fsync.
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"opdaemon/internal/core"
+)
+
+// WALConfig configures OpenWALStore. Zero values pick the defaults
+// documented per field.
+type WALConfig struct {
+	// Dir is the log directory, created if absent. Required.
+	Dir string
+	// Sync is the fsync policy (default WALSyncGroup).
+	Sync WALSyncMode
+	// GroupWindow is how long the committer accumulates a batch before
+	// committing it under WALSyncGroup (default 2ms). Larger windows
+	// buy bigger batches (fewer fsyncs) at the cost of admission
+	// latency.
+	GroupWindow time.Duration
+	// SegmentBytes rotates the open segment once it exceeds this size
+	// (default 16 MiB).
+	SegmentBytes int64
+	// MaxSegments is how many closed segments may accumulate before
+	// the committer folds them into a snapshot (default 8).
+	MaxSegments int
+	// Shards is the in-memory index's shard count, with the same
+	// semantics as NewShardedStore (default DefaultShardCount).
+	Shards int
+	// Clock returns the current time; overridable in tests.
+	Clock func() time.Time
+}
+
+// withDefaults resolves the zero values.
+func (cfg WALConfig) withDefaults() WALConfig {
+	if cfg.Sync == "" {
+		cfg.Sync = WALSyncGroup
+	}
+	if cfg.GroupWindow <= 0 {
+		cfg.GroupWindow = 2 * time.Millisecond
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = 16 << 20
+	}
+	if cfg.MaxSegments <= 0 {
+		cfg.MaxSegments = 8
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return cfg
+}
+
+// sweepCompactThreshold is how many evictions one SweepTerminalBefore
+// must produce before the store asks the WAL to compact: small steady
+// sweeps ride along until segment-count compaction triggers, mass
+// evictions reclaim replay time promptly.
+const sweepCompactThreshold = 1024
+
+// WALStore is a persistent Store; see the package comment above and
+// docs/persistence.md. Close must be called to flush staged records;
+// use OpenWALStore to build one.
+type WALStore struct {
+	inner *shardedStore
+	wal   *wal
+}
+
+// Compile-time interface checks: a Store the engine can use, and the
+// durable extension Engine.Stats surfaces.
+var (
+	_ Store        = (*WALStore)(nil)
+	_ durableStore = (*WALStore)(nil)
+)
+
+// OpenWALStore opens (or creates) the log directory, replays snapshot
+// plus segment suffix into a fresh in-memory index — repairing a torn
+// tail on the way — and starts the group-commit loop. The returned
+// store is ready for traffic; the caller owns Close.
+func OpenWALStore(cfg WALConfig) (*WALStore, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("wal: WALConfig.Dir must be set")
+	}
+	if !cfg.Sync.Valid() {
+		return nil, fmt.Errorf("wal: unknown sync mode %q (want %s, %s, or %s)",
+			cfg.Sync, WALSyncAlways, WALSyncGroup, WALSyncNone)
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", cfg.Dir, err)
+	}
+	state, layout, err := recoverWALState(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	w, err := newWAL(cfg, layout)
+	if err != nil {
+		return nil, err
+	}
+	inner := NewShardedStore(cfg.Shards).(*shardedStore)
+	if len(state) > 0 {
+		ops := make([]*core.Operation, 0, len(state))
+		for _, op := range state {
+			ops = append(ops, op)
+		}
+		inner.PutBatch(ops)
+	}
+	s := &WALStore{inner: inner, wal: w}
+	w.snapshotFn = s.dumpState
+	w.start()
+	return s, nil
+}
+
+// Close flushes staged records, stops the committer, and closes the
+// open segment. The store must not be used afterwards.
+func (s *WALStore) Close() error {
+	return s.wal.close()
+}
+
+// Flush forces a commit of everything staged so far and waits for it —
+// a durability barrier for callers (and tests) that need one outside
+// the per-mutation policy.
+func (s *WALStore) Flush() error {
+	return s.wal.flush()
+}
+
+// WALStats reports the log's observability counters; Engine.Stats
+// surfaces them when the engine's store is durable.
+func (s *WALStore) WALStats() WALStats {
+	return s.wal.snapshotStats()
+}
+
+// dumpState is the compactor's full-state snapshot source: the
+// unbounded listing, which snapshots each shard under its own lock and
+// merges lock-free.
+func (s *WALStore) dumpState() []*core.Operation {
+	ops, err := s.inner.List(ListQuery{})
+	if err != nil {
+		// The in-memory inner store cannot fail; keep the compactor
+		// honest anyway.
+		log.Printf("engine: wal snapshot listing state: %v", err)
+		return nil
+	}
+	return ops
+}
+
+// Put inserts or replaces the operation and waits out the sync
+// policy's admission durability (see WALSyncMode).
+func (s *WALStore) Put(op *core.Operation) {
+	rec, err := encodeOpRecord(walRecPut, op)
+	if err != nil {
+		// Memory-only fallback: the mutation still applies (matching
+		// the in-memory stores) but will not survive a restart.
+		log.Printf("engine: wal: %v; operation is not durable", err)
+	}
+	sh := s.inner.shard(op.ID)
+	sh.mu.Lock()
+	sh.putLocked(op)
+	g := s.wal.enqueue(rec, 1)
+	sh.mu.Unlock()
+	s.wal.admitWait(g)
+}
+
+// PutBatch inserts or replaces every operation, staging each shard's
+// records inside that shard's critical section and waiting for
+// durability once for the whole batch.
+func (s *WALStore) PutBatch(ops []*core.Operation) {
+	if len(ops) == 1 {
+		s.Put(ops[0])
+		return
+	}
+	buckets := make([][]*core.Operation, len(s.inner.shards))
+	for _, op := range ops {
+		i := s.inner.shardIndex(op.ID)
+		buckets[i] = append(buckets[i], op)
+	}
+	var last *walGen
+	for i, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		// Encode the bucket outside the lock — the records capture the
+		// operations as handed over, which ownership transfer makes
+		// stable — and stage them inside it, keeping log order equal
+		// to publish order.
+		var frames []byte
+		recs := 0
+		for _, op := range bucket {
+			rec, err := encodeOpRecord(walRecPut, op)
+			if err != nil {
+				log.Printf("engine: wal: %v; operation is not durable", err)
+				continue
+			}
+			frames = append(frames, rec...)
+			recs++
+		}
+		sh := s.inner.shards[i]
+		sh.mu.Lock()
+		for _, op := range bucket {
+			sh.putLocked(op)
+		}
+		if g := s.wal.enqueue(frames, recs); g != nil {
+			last = g
+		}
+		sh.mu.Unlock()
+	}
+	// All buckets board the same in-flight generation in practice;
+	// waiting on the newest ticket covers every staged record because
+	// generations commit in order.
+	s.wal.admitWait(last)
+}
+
+// Get returns the published snapshot — the unchanged in-memory read
+// path.
+func (s *WALStore) Get(id string) (*core.Operation, error) {
+	return s.inner.Get(id)
+}
+
+// List pages the in-memory index; see shardedStore.List.
+func (s *WALStore) List(q ListQuery) ([]*core.Operation, error) {
+	return s.inner.List(q)
+}
+
+// Update applies fn to a private clone under the shard lock, publishes
+// the clone, and stages the update record in the same critical
+// section. Under WALSyncAlways the caller waits for the fsync; group
+// mode logs transitions asynchronously (see WALSyncMode).
+func (s *WALStore) Update(id string, fn func(op *core.Operation)) error {
+	sh := s.inner.shard(id)
+	sh.mu.Lock()
+	old, ok := sh.ops[id]
+	if !ok {
+		sh.mu.Unlock()
+		return core.ErrNotFound
+	}
+	c := old.Clone()
+	// Same sanctioned callback-under-lock as storeShard.update: fn
+	// mutates a private clone atomically with its publication.
+	//lint:allow opdaemon/lockscope Update's clone-mutation callback is the store's core contract
+	fn(c)
+	// Encode under the lock: the record must capture exactly the
+	// published state, in publish order. Marshalling an operation is a
+	// few hundred nanoseconds — small next to the fsync this design
+	// keeps out of the critical section.
+	rec, err := encodeOpRecord(walRecUpdate, c)
+	if err != nil {
+		log.Printf("engine: wal: %v; update is not durable", err)
+	}
+	sh.ops[id] = c
+	if c.ID == old.ID && c.CreatedAt.Equal(old.CreatedAt) {
+		sh.ix.replace(c)
+	} else {
+		// fn moved the index key (nothing in the engine does): reindex,
+		// and log the old ID's disappearance so replay tracks it.
+		delete(sh.ops, old.ID)
+		sh.ops[c.ID] = c
+		sh.ix.remove(old.CreatedAt, old.ID)
+		sh.ix.insert(c)
+		if c.ID != old.ID {
+			rec = append(encodeDeleteRecord(old.ID), rec...)
+		}
+	}
+	g := s.wal.enqueue(rec, 1)
+	sh.mu.Unlock()
+	s.wal.transitionWait(g)
+	return nil
+}
+
+// Delete removes the operation and stages its tombstone.
+func (s *WALStore) Delete(id string) {
+	sh := s.inner.shard(id)
+	sh.mu.Lock()
+	old, ok := sh.ops[id]
+	if !ok {
+		// Nothing stored means nothing to tombstone: replay of the
+		// existing log already yields absence.
+		sh.mu.Unlock()
+		return
+	}
+	delete(sh.ops, id)
+	sh.ix.remove(old.CreatedAt, old.ID)
+	g := s.wal.enqueue(encodeDeleteRecord(id), 1)
+	sh.mu.Unlock()
+	s.wal.transitionWait(g)
+}
+
+// SweepTerminalBefore evicts expired terminal operations shard by
+// shard, staging one tombstone per eviction inside the shard's own
+// critical section. A mass eviction additionally requests a compaction
+// so the reclaimed history stops costing replay time.
+func (s *WALStore) SweepTerminalBefore(cutoff time.Time) int {
+	evicted := 0
+	var last *walGen
+	for _, sh := range s.inner.shards {
+		sh.mu.Lock()
+		kept := sh.ix.ops[:0]
+		var frames []byte
+		recs := 0
+		for _, op := range sh.ix.ops {
+			if op.Status.Terminal() && op.UpdatedAt.Before(cutoff) {
+				delete(sh.ops, op.ID)
+				frames = appendWALFrame(frames, walRecDelete, []byte(op.ID))
+				recs++
+				continue
+			}
+			kept = append(kept, op)
+		}
+		for i := len(kept); i < len(sh.ix.ops); i++ {
+			sh.ix.ops[i] = nil // unpin evicted snapshots
+		}
+		sh.ix.ops = kept
+		if recs > 0 {
+			if g := s.wal.enqueue(frames, recs); g != nil {
+				last = g
+			}
+		}
+		sh.mu.Unlock()
+		evicted += recs
+	}
+	if evicted >= sweepCompactThreshold {
+		s.wal.requestCompact()
+	}
+	s.wal.transitionWait(last)
+	return evicted
+}
+
+// Len counts the stored operations.
+func (s *WALStore) Len() int {
+	return s.inner.Len()
+}
+
+// closeAbrupt is the crash-simulation hook for the recovery tests: the
+// committer exits without the final flush, dropping staged records the
+// way a killed process would.
+func (s *WALStore) closeAbrupt() {
+	s.wal.abort()
+}
