@@ -18,7 +18,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 # campaigns (e.g. make fuzz-smoke FUZZTIME=5m).
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint vet fmt-check fmt bench bench-e2e staticcheck opdaemonlint vuln fuzz-smoke
+.PHONY: all build test lint vet fmt-check fmt bench bench-e2e bench-wal staticcheck opdaemonlint vuln fuzz-smoke
 
 all: build lint fmt-check test
 
@@ -65,6 +65,13 @@ bench:
 bench-e2e:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -cpu=$(BENCHCPU) -run '^$$' ./internal/api/
 
+# Durability-focused slice of the engine benchmarks: WAL store write
+# paths plus cold recovery, with allocation counts — the codec and
+# group-commit work lives or dies on bytes/op and allocs/op, so
+# -benchmem is always on here. See docs/performance.md.
+bench-wal:
+	$(GO) test -bench 'WAL' -benchmem -benchtime=$(BENCHTIME) -cpu=$(BENCHCPU) -run '^$$' ./internal/engine/
+
 # Short coverage-guided fuzz runs over the untrusted-input parsers:
 # the cursor values clients control, and the WAL replay path that
 # must survive arbitrary on-disk bytes after a crash. One `go test
@@ -75,6 +82,7 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzNoticesCursor$$' -fuzztime=$(FUZZTIME) -run '^Fuzz' ./internal/api/
 	$(GO) test -fuzz '^FuzzListQueryCursor$$' -fuzztime=$(FUZZTIME) -run '^Fuzz' ./internal/api/
 	$(GO) test -fuzz '^FuzzWALReplay$$' -fuzztime=$(FUZZTIME) -run '^Fuzz' ./internal/engine/
+	$(GO) test -fuzz '^FuzzWALCodecBinary$$' -fuzztime=$(FUZZTIME) -run '^Fuzz' ./internal/engine/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

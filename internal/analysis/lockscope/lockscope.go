@@ -29,7 +29,14 @@
 //   - file I/O — os.File write methods and mutating os package
 //     functions, directly or through same-package callees — a disk
 //     write (worse, an fsync) under a policed lock serialises every
-//     operation on the shard behind a millisecond-scale syscall.
+//     operation on the shard behind a millisecond-scale syscall;
+//   - record encoding — json.Marshal/Unmarshal and the WAL codec
+//     entry points (frame builders, the operation binary codec),
+//     directly or through same-package callees. The WAL write path's
+//     contract is encode-outside-the-lock: records are serialised
+//     into a prepared buffer before acquisition, and the critical
+//     section covers only apply + staging of ready bytes, so a
+//     marshal's allocations and reflection never extend a shard hold.
 //
 // The WAL's group-commit staging buffer (walBatch) is policed as a
 // nested-acquisition class: taking walBatch.mu while a storeShard lock
@@ -104,6 +111,47 @@ var osWriteNames = map[string]bool{
 // filesystem entry points.
 func isOSWrite(fn *types.Func) bool {
 	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "os" && osWriteNames[fn.Name()]
+}
+
+// jsonCodecNames are the encoding/json entry points the codec rule
+// recognises.
+var jsonCodecNames = map[string]bool{
+	"Marshal": true, "MarshalIndent": true, "Unmarshal": true,
+}
+
+// codecFuncNames are the WAL codec entry points — the engine's frame
+// builders/record encoders and core's operation binary codec. Matched
+// by name across the module's own packages (stdlib and vendored code
+// excluded by the json/os checks having their own lists), so the rule
+// survives the codec living in either package.
+var codecFuncNames = map[string]bool{
+	// engine frame builders and record encoders.
+	"appendWALFrame": true, "reserveWALFrame": true, "finishWALFrame": true,
+	"encodeOpRecord": true, "encodeOpRecordV2": true, "encodeDeltaRecordV2": true,
+	"encodeDeleteRecord": true, "appendDeleteRecord": true,
+	"decodeWALRecord": true,
+	// core.Operation binary codec.
+	"AppendBinary": true, "AppendBinaryDelta": true,
+	"DecodeBinaryOperation": true, "DecodeBinaryDelta": true,
+}
+
+// codecPkgNames are the packages whose functions the codec name list
+// applies to: the engine (frame builders), core (operation binary
+// codec), and the analyzer's fixture package. Pinning the packages
+// keeps stdlib lookalikes — time.Time also has an AppendBinary — from
+// tripping the rule.
+var codecPkgNames = map[string]bool{"engine": true, "core": true, "a": true}
+
+// isCodecCall reports whether fn serialises or deserialises a record:
+// an encoding/json entry point or one of the WAL codec functions.
+func isCodecCall(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "encoding/json" {
+		return jsonCodecNames[fn.Name()]
+	}
+	return codecPkgNames[fn.Pkg().Name()] && codecFuncNames[fn.Name()]
 }
 
 func run(pass *lintkit.Pass) error {
@@ -352,6 +400,13 @@ func (s *scanner) checkCallee(call *ast.CallExpr, fn *types.Func, name string) {
 			return
 		}
 	}
+	if isCodecCall(fn) {
+		for path := range s.held {
+			s.pass.Reportf(call.Pos(),
+				"%s inside the %s critical section encodes a record under a policed lock: encode into a buffer before acquiring the lock, stage the prepared bytes inside it", fn.FullName(), path)
+			return
+		}
+	}
 	fl := s.acq.flags(fn)
 	switch {
 	case fl&acqFull != 0:
@@ -365,6 +420,13 @@ func (s *scanner) checkCallee(call *ast.CallExpr, fn *types.Func, name string) {
 		for path := range s.held {
 			s.pass.Reportf(call.Pos(),
 				"call to %s inside the %s critical section performs file I/O: stage bytes under the lock, write after unlock", name, path)
+			return
+		}
+	}
+	if fl&acqCodec != 0 {
+		for path := range s.held {
+			s.pass.Reportf(call.Pos(),
+				"call to %s inside the %s critical section encodes a record: encode into a buffer before acquiring the lock, stage the prepared bytes inside it", name, path)
 			return
 		}
 	}
@@ -421,6 +483,10 @@ const (
 	// acqIO: performs a mutating os filesystem call — never allowed
 	// under a policed lock.
 	acqIO
+	// acqCodec: encodes or decodes a record (json or the WAL binary
+	// codec) — never allowed under a policed lock; encode first, stage
+	// the prepared bytes inside the critical section.
+	acqCodec
 )
 
 // acquirerIndex answers "what does calling this package-level function
@@ -490,9 +556,12 @@ func (idx *acquirerIndex) flags(fn *types.Func) acqFlags {
 			callee = idx.pass.TypesInfo.Uses[fun.Sel]
 		}
 		if cf, ok := callee.(*types.Func); ok {
-			if isOSWrite(cf) {
+			switch {
+			case isOSWrite(cf):
 				result |= acqIO
-			} else if cf != fn {
+			case isCodecCall(cf):
+				result |= acqCodec
+			case cf != fn:
 				result |= idx.flags(cf)
 			}
 		}

@@ -3,6 +3,7 @@
 package a
 
 import (
+	"encoding/json"
 	"os"
 	"sync"
 )
@@ -337,6 +338,47 @@ func detachThenSpill(b *walBatch, f *os.File) {
 	b.mu.Unlock()
 	f.Write(buf)
 	f.Sync()
+}
+
+// marshalUnderShardLock serialises a record inside the shard critical
+// section — the encode-outside-the-lock contract violation the codec
+// rule exists for.
+func marshalUnderShardLock(sh *storeShard) []byte {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, _ := json.Marshal(sh.ops) // want `encoding/json\.Marshal inside the sh\.mu critical section encodes a record under a policed lock`
+	return rec
+}
+
+// encodeOpRecordV2 mirrors the engine's record encoder; its name is
+// what makes calls to it codec calls.
+func encodeOpRecordV2(dst []byte, v int) []byte {
+	return append(dst, byte(v))
+}
+
+// encodeUnderBatchLock reaches the codec through a same-package helper
+// while holding the staging lock.
+func encodeUnderBatchLock(b *walBatch, v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = encodeRecord(b.buf, v) // want `call to encodeRecord inside the b\.mu critical section encodes a record`
+}
+
+// encodeRecord is a transitive codec caller: flagged only when invoked
+// under a policed lock.
+func encodeRecord(dst []byte, v int) []byte {
+	return encodeOpRecordV2(dst, v)
+}
+
+// encodeThenStage is the sanctioned WAL mutation shape: encode the
+// record into a buffer first, then let the critical section cover only
+// apply + staging of the prepared bytes.
+func encodeThenStage(sh *storeShard, b *walBatch, v int) {
+	rec := encodeRecord(nil, v)
+	sh.mu.Lock()
+	sh.ops["x"] = v
+	stage(b, rec)
+	sh.mu.Unlock()
 }
 
 // unpolicedMutex guards a type outside the policed set; lockscope does

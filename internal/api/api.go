@@ -46,12 +46,14 @@ func New(e *engine.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/operations/{id}", s.get)
 	s.mux.HandleFunc("DELETE /v1/operations/{id}", s.cancel)
 	s.mux.HandleFunc("GET /v1/notices", s.notices)
+	s.mux.HandleFunc("GET /v1/metrics", s.metrics)
 	// Method-less fallbacks so a wrong verb on a known path yields a
 	// 405 envelope instead of falling through to the 404 handler.
 	s.mux.HandleFunc("/v1/health", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/v1/operations", methodNotAllowed("GET, POST"))
 	s.mux.HandleFunc("/v1/operations/{id}", methodNotAllowed("GET, DELETE"))
 	s.mux.HandleFunc("/v1/notices", methodNotAllowed("GET"))
+	s.mux.HandleFunc("/v1/metrics", methodNotAllowed("GET"))
 	s.mux.HandleFunc("/", s.notFound)
 	return s
 }

@@ -657,6 +657,10 @@ func (e *Engine) Cancel(id string) (*core.Operation, error) {
 	var kind string
 	var at time.Time
 	err := e.store.Update(id, func(op *core.Operation) {
+		// Update may invoke fn more than once (optimistic stores retry
+		// on conflict), so captured state is reset and assigned from
+		// this attempt's snapshot alone — never toggled cumulatively.
+		cancelled, running = false, false
 		switch op.Status {
 		case core.StatusQueued:
 			// queued → cancelled is always a legal step, so this cannot
@@ -757,9 +761,16 @@ func (e *Engine) Recover(ctx context.Context) (requeued, interrupted int, err er
 	}
 	// List is newest-first; walk backwards so requeueing preserves the
 	// original submission order within each band.
+	const logEvery = 50_000
 	for i := len(ops) - 1; i >= 0; i-- {
 		if cerr := ctx.Err(); cerr != nil {
 			return requeued, interrupted, cerr
+		}
+		if walked := len(ops) - i; walked%logEvery == 0 {
+			// A big replayed store takes a while to re-arm; say so
+			// instead of booting silently.
+			log.Printf("engine: recovery scanned %d/%d operations (%d requeued, %d interrupted)",
+				walked, len(ops), requeued, interrupted)
 		}
 		op := ops[i]
 		switch op.Status {
@@ -948,11 +959,13 @@ func (e *Engine) transition(id string, next core.Status, result json.RawMessage,
 		// Transition refuses illegal steps and stamps UpdatedAt; it
 		// keeps the request-time CancelledAt stamp Cancel already
 		// recorded, backfilling only if a cancel bypassed Cancel
-		// (shouldn't happen).
-		if !op.Transition(next, e.clock()) {
+		// (shouldn't happen). applied is assigned, not toggled: Update
+		// may invoke fn more than once (optimistic stores retry on
+		// conflict), and only the attempt that publishes may stick.
+		applied = op.Transition(next, e.clock())
+		if !applied {
 			return
 		}
-		applied = true
 		if result != nil {
 			op.Result = result
 		}

@@ -57,10 +57,18 @@ type Store interface {
 	// page (see ListQuery.Cursor). The error is reserved for fallible
 	// backends; in-memory implementations always return nil.
 	List(q ListQuery) ([]*core.Operation, error)
-	// Update applies fn to a clone of the stored operation under the
-	// store's lock and publishes the clone, making read-modify-write
+	// Update applies fn to a clone of the stored operation and
+	// atomically publishes the clone, making read-modify-write
 	// transitions atomic. fn must not change the operation's ID.
 	// Returns core.ErrNotFound if the ID is unknown.
+	//
+	// Implementations may be optimistic: fn can be invoked more than
+	// once against successive snapshots before one publish wins (the
+	// WAL store retries on a conflicting concurrent publish). fn must
+	// therefore be effectively pure — derive everything from the clone
+	// it is handed, and ASSIGN any captured variables from that
+	// attempt's state rather than toggling them cumulatively, so the
+	// attempt that publishes fully determines what the caller observes.
 	Update(id string, fn func(op *core.Operation)) error
 	// Delete removes the operation; deleting an unknown ID is a
 	// no-op.

@@ -3,6 +3,8 @@ package engine
 import (
 	"hash/maphash"
 	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"opdaemon/internal/core"
@@ -115,6 +117,42 @@ func (s *shardedStore) PutBatch(ops []*core.Operation) {
 		}
 		sh.mu.Unlock()
 	}
+}
+
+// bulkLoad installs a recovered operation set wholesale: bucket by
+// shard, sort each bucket once into index order, and adopt the sorted
+// slice as the shard's index directly. One O(k log k) sort per shard
+// replaces k ordered inserts — recovery replay hands the ops over in
+// map order, where per-op insertion is an O(k) memmove each and the
+// rebuild goes quadratic. Shards load in parallel. The IDs must be
+// unique (they come from a replay map); intended for a store not yet
+// serving traffic, though it takes the locks anyway.
+func (s *shardedStore) bulkLoad(ops []*core.Operation) {
+	buckets := make([][]*core.Operation, len(s.shards))
+	for _, op := range ops {
+		i := s.shardIndex(op.ID)
+		buckets[i] = append(buckets[i], op)
+	}
+	var wg sync.WaitGroup
+	for i, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *storeShard, bucket []*core.Operation) {
+			defer wg.Done()
+			sort.Slice(bucket, func(a, b int) bool {
+				return opBefore(bucket[a], bucket[b].CreatedAt, bucket[b].ID)
+			})
+			sh.mu.Lock()
+			for _, op := range bucket {
+				sh.ops[op.ID] = op
+			}
+			sh.ix.ops = bucket
+			sh.mu.Unlock()
+		}(s.shards[i], bucket)
+	}
+	wg.Wait()
 }
 
 // shardSeed keys the shard hash. One process-wide random seed keeps

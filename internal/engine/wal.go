@@ -64,7 +64,7 @@ func (m WALSyncMode) Valid() bool {
 // would only add latency. The window earns its keep at low and
 // moderate concurrency, where it turns a trickle of lone writers into
 // one shared fsync.
-const walGroupEagerRecords = 32
+const walGroupEagerRecords = 96
 
 // walGen is one commit generation's ticket: every writer that appended
 // into the generation's batch shares it. done closes after the batch's
@@ -360,7 +360,7 @@ func (w *wal) abort() {
 }
 
 // committer is the single goroutine that turns staged batches into
-// write+fsync calls. Waking on a kick, it first sleeps out the group
+// write+fsync calls. Waking on a kick, it rides out the accumulation
 // window (group mode only) so concurrent writers can board the batch,
 // then commits whatever accumulated: that one fsync resolves every
 // boarded ticket.
@@ -375,18 +375,37 @@ func (w *wal) committer() {
 			return
 		case <-w.kick:
 		}
-		if w.mode == WALSyncGroup && w.window > 0 && w.stagedRecords() < walGroupEagerRecords {
-			// The accumulation window: admission latency traded for
-			// batch size. Writers arriving during the sleep board the
-			// same generation and share the fsync. Only worth paying
-			// when the batch is still small — under heavy concurrency
-			// the previous commit's duration already accumulated a
-			// large batch (natural batching), and sleeping on top of
-			// it would just stall every boarded writer.
-			time.Sleep(w.window)
+		if w.mode == WALSyncGroup && w.window > 0 {
+			w.accumulate()
 		}
 		w.commit()
 		w.maybeCompact()
+	}
+}
+
+// accumulate is the group window: admission latency traded for batch
+// size. The kick that woke the committer fires on the FIRST record
+// staged after the previous commit, so the batch is nearly always tiny
+// at wake time and sleeping the full window blind would tax every
+// cycle with the window even under load heavy enough to fill a batch
+// in a fraction of it. Instead the committer keeps consuming kicks —
+// enqueue sends one per append — and leaves as soon as the batch
+// reaches walGroupEagerRecords, falling back to the window expiry when
+// writers trickle in too slowly to ever fill one. Lone writers still
+// pay the full window; a saturating fleet commits the moment the fsync
+// is worth its price.
+func (w *wal) accumulate() {
+	// Poll in a few slices rather than waking per kick: at tens of
+	// thousands of enqueues per second a kick-driven wait would context
+	// switch the committer on every append, which costs more than the
+	// fsync it is trying to amortise. Four checks per window bound the
+	// early-exit error at a quarter window.
+	const slices = 4
+	for i := 0; i < slices; i++ {
+		if w.stagedRecords() >= walGroupEagerRecords {
+			return
+		}
+		time.Sleep(w.window / slices)
 	}
 }
 
@@ -550,8 +569,10 @@ func writeWALSnapshot(dir string, through int, ops []*core.Operation) error {
 		return err
 	}
 	bw := bufio.NewWriterSize(f, 1<<20)
+	var rec []byte
 	for _, op := range ops {
-		rec, err := encodeOpRecord(walRecPut, op)
+		var err error
+		rec, err = encodeOpRecordV2(rec[:0], op)
 		if err != nil {
 			// Skip the unserialisable op rather than abort the whole
 			// snapshot; it was never durable to begin with.

@@ -143,7 +143,7 @@ func TestWALStoreRecoversCorruptMiddle(t *testing.T) {
 		if i == corruptIdx {
 			corruptAt = offset
 		}
-		rec, err := encodeOpRecord(walRecPut, ops[i])
+		rec, err := encodeOpRecordV2(nil, ops[i])
 		if err != nil {
 			t.Fatalf("encode: %v", err)
 		}

@@ -14,12 +14,25 @@ package engine
 // torn or bit-flipped tail detectable, which is what lets recovery
 // truncate at the first bad frame instead of guessing.
 //
-// Record bodies are JSON for put/update (the operation's own wire
-// encoding, so the on-disk format tracks the API format by
-// construction) and the raw ID bytes for delete. Replay treats put and
-// update identically — both are idempotent upserts keyed by ID — so
-// re-applying an overlapping snapshot + segment suffix converges on the
-// same state.
+// Two codec generations share the frame format and differ only in
+// record types and body encoding:
+//
+//   - v1 (types 1–3): put/update bodies are the operation's JSON wire
+//     encoding; delete bodies are the raw ID. Still decoded on replay
+//     so logs written by older builds recover seamlessly, but no
+//     longer written.
+//   - v2 (types 4–5): op bodies are the compact binary encoding
+//     (core.AppendBinary) and delta bodies carry only the mutable
+//     field set of a lifecycle transition (core.AppendBinaryDelta).
+//     A delta replays by folding onto the ID's current replay state;
+//     a delta whose base is absent is skipped — the snapshot-overlap
+//     window makes that shape legitimate (the op was deleted before
+//     the snapshot was cut, but its delta records live in retained
+//     segments).
+//
+// Replay treats every full-record type as an idempotent upsert keyed
+// by ID, so re-applying an overlapping snapshot + segment suffix
+// converges on the same state.
 
 import (
 	"encoding/binary"
@@ -27,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync"
 
 	"opdaemon/internal/core"
 )
@@ -34,9 +48,11 @@ import (
 // WAL record types. The zero value is deliberately unused so an
 // all-zeroes torn frame can never masquerade as a valid record type.
 const (
-	walRecPut    byte = 1
-	walRecUpdate byte = 2
-	walRecDelete byte = 3
+	walRecPut     byte = 1 // v1: full snapshot, JSON body (legacy, read-only)
+	walRecUpdate  byte = 2 // v1: full snapshot, JSON body (legacy, read-only)
+	walRecDelete  byte = 3 // raw ID body (written by both generations)
+	walRecOpV2    byte = 4 // v2: full snapshot, binary body
+	walRecDeltaV2 byte = 5 // v2: mutable-field delta, binary body
 )
 
 // walFrameHeader is the fixed per-frame overhead: 4-byte length plus
@@ -64,22 +80,38 @@ var (
 // appendWALFrame appends one framed record to dst and returns the
 // extended slice.
 func appendWALFrame(dst []byte, typ byte, body []byte) []byte {
-	var hdr [walFrameHeader]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)+1))
-	crc := crc32.NewIEEE()
-	crc.Write([]byte{typ})
-	crc.Write(body)
-	binary.LittleEndian.PutUint32(hdr[4:8], crc.Sum32())
-	dst = append(dst, hdr[:]...)
+	dst, mark := reserveWALFrame(dst)
 	dst = append(dst, typ)
-	return append(dst, body...)
+	dst = append(dst, body...)
+	return finishWALFrame(dst, mark)
 }
 
-// encodeOpRecord frames an operation snapshot as a put or update
-// record. Marshalling an Operation only fails if a handler smuggled an
+// reserveWALFrame appends a zeroed frame header to dst and returns the
+// grown slice plus the header's offset. The caller appends the payload
+// (type byte + body) directly, then calls finishWALFrame with the same
+// mark — the record is built in place with no intermediate body
+// buffer.
+func reserveWALFrame(dst []byte) ([]byte, int) {
+	mark := len(dst)
+	var hdr [walFrameHeader]byte
+	return append(dst, hdr[:]...), mark
+}
+
+// finishWALFrame backfills the length and checksum for the frame whose
+// header was reserved at mark, covering everything appended since.
+func finishWALFrame(dst []byte, mark int) []byte {
+	payload := dst[mark+walFrameHeader:]
+	binary.LittleEndian.PutUint32(dst[mark:mark+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[mark+4:mark+8], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// encodeOpRecord frames an operation snapshot as a v1 JSON put or
+// update record. Only tests and the mixed-format migration fixtures
+// call it now — the live write path uses the v2 encoders below.
+// Marshalling an Operation only fails if a handler smuggled an
 // unserialisable value into Params, which the API's JSON decoding makes
-// impossible in practice; callers degrade to memory-only for that one
-// record and log.
+// impossible in practice.
 func encodeOpRecord(typ byte, op *core.Operation) ([]byte, error) {
 	body, err := json.Marshal(op)
 	if err != nil {
@@ -88,9 +120,82 @@ func encodeOpRecord(typ byte, op *core.Operation) ([]byte, error) {
 	return appendWALFrame(nil, typ, body), nil
 }
 
-// encodeDeleteRecord frames a deletion; the body is the raw ID.
+// encodeOpRecordV2 appends a framed v2 full-snapshot record to dst in
+// place: header reserved, payload appended directly, length + CRC
+// backfilled. No intermediate body allocation.
+func encodeOpRecordV2(dst []byte, op *core.Operation) ([]byte, error) {
+	dst, mark := reserveWALFrame(dst)
+	dst = append(dst, walRecOpV2)
+	dst, err := op.AppendBinary(dst)
+	if err != nil {
+		return dst[:mark], fmt.Errorf("wal: %w", err)
+	}
+	return finishWALFrame(dst, mark), nil
+}
+
+// encodeDeltaRecordV2 appends a framed v2 delta record for op to dst
+// in place. The caller has already established delta eligibility
+// (core.DeltaEligible), which guarantees encoding cannot fail.
+func encodeDeltaRecordV2(dst []byte, op *core.Operation) []byte {
+	dst, mark := reserveWALFrame(dst)
+	dst = append(dst, walRecDeltaV2)
+	dst = op.AppendBinaryDelta(dst)
+	return finishWALFrame(dst, mark)
+}
+
+// appendDeleteRecord appends a framed deletion to dst; the body is the
+// raw ID.
+func appendDeleteRecord(dst []byte, id string) []byte {
+	dst, mark := reserveWALFrame(dst)
+	dst = append(dst, walRecDelete)
+	dst = append(dst, id...)
+	return finishWALFrame(dst, mark)
+}
+
+// encodeDeleteRecord frames a deletion as a standalone buffer.
 func encodeDeleteRecord(id string) []byte {
-	return appendWALFrame(nil, walRecDelete, []byte(id))
+	return appendDeleteRecord(nil, id)
+}
+
+// walEncPool recycles record-encode buffers so the hot mutation path
+// (which must encode before taking the shard lock, see lockscope's
+// codec rule) doesn't allocate a fresh buffer per record. Pooled as
+// *[]byte to keep the slice header off the heap on Put.
+var walEncPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// walEncPoolMaxCap bounds what returns to the pool: an occasional
+// giant record (big params blob) must not pin its buffer forever.
+const walEncPoolMaxCap = 1 << 20
+
+// getEncBuf returns an empty pooled encode buffer.
+func getEncBuf() *[]byte {
+	b := walEncPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// putEncBuf returns a buffer to the pool once its bytes have been
+// copied into the WAL batch. Oversized buffers are dropped.
+func putEncBuf(b *[]byte) {
+	if cap(*b) <= walEncPoolMaxCap {
+		walEncPool.Put(b)
+	}
+}
+
+// walFrameLen reads the payload length from a frame header; the caller
+// guarantees at least walFrameHeader bytes.
+func walFrameLen(frame []byte) uint32 {
+	return binary.LittleEndian.Uint32(frame[0:4])
+}
+
+// walFrameCRCOK checks the frame's stored checksum against its payload.
+func walFrameCRCOK(frame, payload []byte) bool {
+	return crc32.ChecksumIEEE(payload) == binary.LittleEndian.Uint32(frame[4:8])
 }
 
 // walReplay walks the frames in data, invoking apply for each valid
@@ -124,25 +229,87 @@ func walReplay(data []byte, apply func(typ byte, body []byte) error) (int, error
 	return pos, nil
 }
 
-// applyWALRecord folds one decoded record into the replay state map:
-// put and update upsert, delete removes. It rejects records that
-// decode but make no sense (unknown type, empty ID) so replay treats
-// them as the end of the valid prefix.
-func applyWALRecord(state map[string]*core.Operation, typ byte, body []byte) error {
+// walDecoded is one record decoded off the log, ready to fold into
+// replay state. Exactly one of op / delta / del describes the record.
+type walDecoded struct {
+	op    *core.Operation   // full snapshot (v1 JSON or v2 binary)
+	delta *core.BinaryDelta // v2 mutable-field delta
+	del   string            // deletion target ID
+}
+
+// id returns the operation ID the record concerns — the partition key
+// for parallel replay.
+func (d *walDecoded) id() string {
+	switch {
+	case d.op != nil:
+		return d.op.ID
+	case d.delta != nil:
+		return d.delta.ID
+	}
+	return d.del
+}
+
+// decodeWALRecord decodes one record body (both codec generations)
+// without touching replay state — the pure half that parallel recovery
+// fans out. The returned record owns its memory; body may be reused.
+func decodeWALRecord(typ byte, body []byte) (walDecoded, error) {
 	switch typ {
 	case walRecPut, walRecUpdate:
 		op := new(core.Operation)
 		if err := json.Unmarshal(body, op); err != nil {
-			return fmt.Errorf("%w: undecodable operation body: %v", errWALCorrupt, err)
+			return walDecoded{}, fmt.Errorf("%w: undecodable operation body: %v", errWALCorrupt, err)
 		}
 		if op.ID == "" {
-			return fmt.Errorf("%w: operation record without an id", errWALCorrupt)
+			return walDecoded{}, fmt.Errorf("%w: operation record without an id", errWALCorrupt)
 		}
-		state[op.ID] = op
+		return walDecoded{op: op}, nil
+	case walRecOpV2:
+		op, err := core.DecodeBinaryOperation(body)
+		if err != nil {
+			return walDecoded{}, fmt.Errorf("%w: %v", errWALCorrupt, err)
+		}
+		return walDecoded{op: op}, nil
+	case walRecDeltaV2:
+		d, err := core.DecodeBinaryDelta(body)
+		if err != nil {
+			return walDecoded{}, fmt.Errorf("%w: %v", errWALCorrupt, err)
+		}
+		return walDecoded{delta: d}, nil
 	case walRecDelete:
-		delete(state, string(body))
+		return walDecoded{del: string(body)}, nil
 	default:
-		return fmt.Errorf("%w: unknown record type %d", errWALCorrupt, typ)
+		return walDecoded{}, fmt.Errorf("%w: unknown record type %d", errWALCorrupt, typ)
 	}
+}
+
+// applyDecoded folds one decoded record into the replay state map:
+// full records upsert, deltas fold onto the ID's current state (a
+// delta with no base is skipped — see the package comment), deletes
+// remove. Sequential replay and every parallel-recovery partition
+// worker share this one definition of "apply", so their semantics
+// cannot drift.
+func applyDecoded(state map[string]*core.Operation, d walDecoded) {
+	switch {
+	case d.op != nil:
+		state[d.op.ID] = d.op
+	case d.delta != nil:
+		if base, ok := state[d.delta.ID]; ok {
+			state[d.delta.ID] = d.delta.Apply(base)
+		}
+	default:
+		delete(state, d.del)
+	}
+}
+
+// applyWALRecord decodes and folds one record into the replay state
+// map. It rejects records that decode but make no sense (unknown type,
+// empty ID) so replay treats them as the end of the valid prefix. The
+// sequential-replay composition the fuzz target pins.
+func applyWALRecord(state map[string]*core.Operation, typ byte, body []byte) error {
+	d, err := decodeWALRecord(typ, body)
+	if err != nil {
+		return err
+	}
+	applyDecoded(state, d)
 	return nil
 }

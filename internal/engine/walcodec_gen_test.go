@@ -1,0 +1,247 @@
+package engine
+
+// Codec-generation tests: the v1→v2 migration contract (mixed logs
+// replay), the delta-chain bound, and fuzzing of the binary bodies.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"opdaemon/internal/core"
+)
+
+// TestWALMixedFormatReplay proves the migration story: a log whose
+// oldest segment was written by the v1 JSON codec replays together
+// with v2 segments appended by the current store, and a second reopen
+// (all-v2 after compaction-free append) converges on the same state.
+func TestWALMixedFormatReplay(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Unix(1000, 0)
+
+	// Hand-write a v1 segment the way the previous generation did:
+	// JSON puts, a JSON full-record update, and a tombstone.
+	var seg []byte
+	for i := 0; i < 5; i++ {
+		rec, err := encodeOpRecord(walRecPut, mkOp(fmt.Sprintf("v1-%02d", i), t0.Add(time.Duration(i)*time.Second)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg = append(seg, rec...)
+	}
+	upd := mkOp("v1-02", t0.Add(2*time.Second))
+	upd.Status = core.StatusDone
+	upd.UpdatedAt = t0.Add(time.Minute)
+	rec, err := encodeOpRecord(walRecUpdate, upd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg = append(seg, rec...)
+	seg = append(seg, encodeDeleteRecord("v1-04")...)
+	if err := os.WriteFile(filepath.Join(dir, walSegName(1)), seg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openWAL(t, dir, WALConfig{Sync: WALSyncAlways})
+	if n := s.Len(); n != 4 {
+		t.Fatalf("v1 segment replayed to %d ops, want 4", n)
+	}
+	got, err := s.Get("v1-02")
+	if err != nil || got.Status != core.StatusDone {
+		t.Fatalf("Get(v1-02) = (%v, %v), want done op", got, err)
+	}
+	if _, err := s.Get("v1-04"); err == nil {
+		t.Fatal("v1 tombstone ignored: v1-04 survived replay")
+	}
+
+	// Append v2 records on top: new puts, a delta-eligible update of a
+	// v1-era op, and a delete of another.
+	for i := 0; i < 3; i++ {
+		s.Put(mkOp(fmt.Sprintf("v2-%02d", i), t0.Add(time.Hour+time.Duration(i)*time.Second)))
+	}
+	if err := s.Update("v1-01", func(op *core.Operation) {
+		op.Status = core.StatusRunning
+		op.UpdatedAt = t0.Add(2 * time.Minute)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Delete("v1-03")
+	want := listAll(t, s)
+	s.closeAbrupt()
+
+	r := openWAL(t, dir, WALConfig{Sync: WALSyncAlways})
+	defer r.Close()
+	sameOps(t, listAll(t, r), want)
+	if got, err := r.Get("v1-01"); err != nil || got.Status != core.StatusRunning {
+		t.Fatalf("v2 delta on v1 base: Get(v1-01) = (%v, %v), want running", got, err)
+	}
+}
+
+// countWALRecordTypes replays every segment in dir and tallies record
+// types across them.
+func countWALRecordTypes(t *testing.T, dir string) map[byte]int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[byte]int)
+	for _, e := range entries {
+		var i int
+		if !parseWALName(e.Name(), "wal-%08d.log", &i) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := walReplay(data, func(typ byte, _ []byte) error {
+			counts[typ]++
+			return nil
+		}); err != nil {
+			t.Fatalf("replaying %s: %v", e.Name(), err)
+		}
+	}
+	return counts
+}
+
+// TestWALDeltaChainBound checks both halves of the delta policy:
+// mutable-field updates log compact deltas, and every
+// walDeltaChainMax-th consecutive delta is replaced by a full record
+// so recovery never folds an unbounded chain.
+func TestWALDeltaChainBound(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Unix(1000, 0)
+	s := openWAL(t, dir, WALConfig{Sync: WALSyncAlways})
+
+	s.Put(mkOp("chained", t0))
+	const updates = 2*walDeltaChainMax + 3
+	for i := 0; i < updates; i++ {
+		if err := s.Update("chained", func(op *core.Operation) {
+			op.Error = fmt.Sprintf("attempt %d", i)
+			op.UpdatedAt = t0.Add(time.Duration(i+1) * time.Second)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := listAll(t, s)
+	s.closeAbrupt()
+
+	counts := countWALRecordTypes(t, dir)
+	// One full record for the Put plus one per chain bound; everything
+	// else must have gone out as deltas.
+	wantFull := 1 + updates/walDeltaChainMax
+	if counts[walRecOpV2] != wantFull {
+		t.Errorf("full v2 records = %d, want %d (chain bound %d over %d updates)",
+			counts[walRecOpV2], wantFull, walDeltaChainMax, updates)
+	}
+	if counts[walRecDeltaV2] != updates-updates/walDeltaChainMax {
+		t.Errorf("delta records = %d, want %d", counts[walRecDeltaV2], updates-updates/walDeltaChainMax)
+	}
+	if counts[walRecPut] != 0 || counts[walRecUpdate] != 0 {
+		t.Errorf("fresh log contains legacy v1 records: %v", counts)
+	}
+
+	r := openWAL(t, dir, WALConfig{Sync: WALSyncAlways})
+	defer r.Close()
+	sameOps(t, listAll(t, r), want)
+	got, err := r.Get("chained")
+	if err != nil || got.Error != fmt.Sprintf("attempt %d", updates-1) {
+		t.Fatalf("Get(chained) = (%+v, %v), want final delta applied", got, err)
+	}
+}
+
+// TestWALImmutableChangeLogsFullRecord: an update that touches an
+// immutable field (here Deadline) is not delta-eligible and must log a
+// full record.
+func TestWALImmutableChangeLogsFullRecord(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Unix(1000, 0)
+	s := openWAL(t, dir, WALConfig{Sync: WALSyncAlways})
+
+	s.Put(mkOp("imm", t0))
+	if err := s.Update("imm", func(op *core.Operation) {
+		op.Deadline = time.Hour
+		op.UpdatedAt = t0.Add(time.Second)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.closeAbrupt()
+
+	counts := countWALRecordTypes(t, dir)
+	if counts[walRecOpV2] != 2 || counts[walRecDeltaV2] != 0 {
+		t.Errorf("record counts = %v, want 2 full v2 and no deltas", counts)
+	}
+
+	r := openWAL(t, dir, WALConfig{Sync: WALSyncAlways})
+	defer r.Close()
+	got, err := r.Get("imm")
+	if err != nil || got.Deadline != time.Hour {
+		t.Fatalf("Get(imm) = (%+v, %v), want deadline recovered", got, err)
+	}
+}
+
+// FuzzWALCodecBinary fuzzes the binary bodies directly: decoding
+// arbitrary bytes never panics, anything that decodes cleanly
+// re-encodes to a decodable body, and re-encoding reaches a fixed
+// point after one pass (a crafted record may set a presence flag on a
+// zero value, so the first re-encode may normalise, but no more).
+func FuzzWALCodecBinary(f *testing.F) {
+	t0 := time.Unix(1000, 0)
+	op := mkOp("fuzz-seed", t0)
+	op.Params = map[string]any{"k": "v"}
+	op.Priority = core.PriorityHigh
+	op.Error = "boom"
+	op.Result = json.RawMessage(`{"ok":true}`)
+	full, err := op.AppendBinary(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full, true)
+	f.Add(op.AppendBinaryDelta(nil), false)
+	f.Add([]byte{}, true)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, false)
+
+	f.Fuzz(func(t *testing.T, data []byte, asOp bool) {
+		if asOp {
+			dec, err := core.DecodeBinaryOperation(data)
+			if err != nil {
+				return
+			}
+			enc1, err := dec.AppendBinary(nil)
+			if err != nil {
+				t.Fatalf("re-encode of decoded op failed: %v", err)
+			}
+			dec2, err := core.DecodeBinaryOperation(enc1)
+			if err != nil {
+				t.Fatalf("re-encoded op body does not decode: %v", err)
+			}
+			enc2, err := dec2.AppendBinary(nil)
+			if err != nil {
+				t.Fatalf("second re-encode failed: %v", err)
+			}
+			if string(enc2) != string(enc1) {
+				t.Fatalf("op codec has no fixed point:\n enc1 %x\n enc2 %x", enc1, enc2)
+			}
+			if dec2.ID != dec.ID || dec2.Status != dec.Status || !dec2.UpdatedAt.Equal(dec.UpdatedAt) {
+				t.Fatalf("re-encode lost fields: %+v vs %+v", dec2, dec)
+			}
+		} else {
+			dec, err := core.DecodeBinaryDelta(data)
+			if err != nil {
+				return
+			}
+			enc1 := dec.AppendBinary(nil)
+			dec2, err := core.DecodeBinaryDelta(enc1)
+			if err != nil {
+				t.Fatalf("re-encoded delta body does not decode: %v", err)
+			}
+			if string(dec2.AppendBinary(nil)) != string(enc1) {
+				t.Fatalf("delta codec has no fixed point for %x", data)
+			}
+		}
+	})
+}

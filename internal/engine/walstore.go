@@ -13,6 +13,23 @@ package engine
 // sanctioned lock nesting, policed by lockscope), and it is why writers
 // never touch the file themselves: file I/O under a shard lock would
 // stall every operation on the shard for an fsync.
+//
+// The second invariant: records are ENCODED before the shard lock is
+// taken (lockscope's codec rule machine-enforces it). The lock covers
+// only apply + staging of a prepared buffer, so its hold time is a few
+// pointer writes and a memcpy, not a marshal. Put and Delete encode
+// up front; Update encodes optimistically from a lock-free snapshot
+// read and retries on the rare conflicting publish (detected by
+// pointer identity — published operations are immutable, so the map
+// still holding the same pointer proves nothing intervened).
+//
+// Updates whose mutation is a pure lifecycle transition log a compact
+// delta record (id + mutable fields) instead of a full snapshot.
+// Every delta chain is bounded by walDeltaChainMax: the store counts
+// consecutive deltas per ID (per-shard maps, mutated only under the
+// shard's write lock) and logs a fresh full record when the chain
+// would grow past the bound, so replay work and torn-tail blast
+// radius per op stay O(1).
 
 import (
 	"fmt"
@@ -74,12 +91,23 @@ func (cfg WALConfig) withDefaults() WALConfig {
 // evictions reclaim replay time promptly.
 const sweepCompactThreshold = 1024
 
+// walDeltaChainMax bounds how many consecutive delta records one
+// operation may accumulate before the next update logs a full
+// snapshot again. Engine lifecycles log 2–3 updates per op, so the
+// bound exists for pathological callers, not the steady state.
+const walDeltaChainMax = 16
+
 // WALStore is a persistent Store; see the package comment above and
 // docs/persistence.md. Close must be called to flush staged records;
 // use OpenWALStore to build one.
 type WALStore struct {
 	inner *shardedStore
 	wal   *wal
+	// deltaN counts each live delta chain's length, one map per shard,
+	// indexed in lockstep with inner.shards and mutated only under that
+	// shard's write lock. An absent entry means "last logged record was
+	// a full snapshot".
+	deltaN []map[string]uint8
 }
 
 // Compile-time interface checks: a Store the engine can use, and the
@@ -119,9 +147,13 @@ func OpenWALStore(cfg WALConfig) (*WALStore, error) {
 		for _, op := range state {
 			ops = append(ops, op)
 		}
-		inner.PutBatch(ops)
+		inner.bulkLoad(ops)
 	}
-	s := &WALStore{inner: inner, wal: w}
+	deltaN := make([]map[string]uint8, len(inner.shards))
+	for i := range deltaN {
+		deltaN[i] = make(map[string]uint8)
+	}
+	s := &WALStore{inner: inner, wal: w, deltaN: deltaN}
 	w.snapshotFn = s.dumpState
 	w.start()
 	return s, nil
@@ -161,19 +193,26 @@ func (s *WALStore) dumpState() []*core.Operation {
 }
 
 // Put inserts or replaces the operation and waits out the sync
-// policy's admission durability (see WALSyncMode).
+// policy's admission durability (see WALSyncMode). The record is
+// encoded into a pooled buffer before the lock; the critical section
+// is apply + stage only.
 func (s *WALStore) Put(op *core.Operation) {
-	rec, err := encodeOpRecord(walRecPut, op)
+	buf := getEncBuf()
+	rec, err := encodeOpRecordV2(*buf, op)
 	if err != nil {
 		// Memory-only fallback: the mutation still applies (matching
 		// the in-memory stores) but will not survive a restart.
-		log.Printf("engine: wal: %v; operation is not durable", err)
+		log.Printf("engine: %v; operation is not durable", err)
 	}
-	sh := s.inner.shard(op.ID)
+	i := s.inner.shardIndex(op.ID)
+	sh := s.inner.shards[i]
 	sh.mu.Lock()
 	sh.putLocked(op)
+	delete(s.deltaN[i], op.ID)
 	g := s.wal.enqueue(rec, 1)
 	sh.mu.Unlock()
+	*buf = rec
+	putEncBuf(buf)
 	s.wal.admitWait(g)
 }
 
@@ -191,6 +230,7 @@ func (s *WALStore) PutBatch(ops []*core.Operation) {
 		buckets[i] = append(buckets[i], op)
 	}
 	var last *walGen
+	buf := getEncBuf()
 	for i, bucket := range buckets {
 		if len(bucket) == 0 {
 			continue
@@ -199,27 +239,31 @@ func (s *WALStore) PutBatch(ops []*core.Operation) {
 		// operations as handed over, which ownership transfer makes
 		// stable — and stage them inside it, keeping log order equal
 		// to publish order.
-		var frames []byte
+		frames := (*buf)[:0]
 		recs := 0
 		for _, op := range bucket {
-			rec, err := encodeOpRecord(walRecPut, op)
+			next, err := encodeOpRecordV2(frames, op)
 			if err != nil {
-				log.Printf("engine: wal: %v; operation is not durable", err)
+				log.Printf("engine: %v; operation is not durable", err)
+				frames = next // encoder rewound to the frame mark
 				continue
 			}
-			frames = append(frames, rec...)
+			frames = next
 			recs++
 		}
 		sh := s.inner.shards[i]
 		sh.mu.Lock()
 		for _, op := range bucket {
 			sh.putLocked(op)
+			delete(s.deltaN[i], op.ID)
 		}
 		if g := s.wal.enqueue(frames, recs); g != nil {
 			last = g
 		}
 		sh.mu.Unlock()
+		*buf = frames
 	}
+	putEncBuf(buf)
 	// All buckets board the same in-flight generation in practice;
 	// waiting on the newest ticket covers every staged record because
 	// generations commit in order.
@@ -237,95 +281,187 @@ func (s *WALStore) List(q ListQuery) ([]*core.Operation, error) {
 	return s.inner.List(q)
 }
 
-// Update applies fn to a private clone under the shard lock, publishes
-// the clone, and stages the update record in the same critical
-// section. Under WALSyncAlways the caller waits for the fsync; group
-// mode logs transitions asynchronously (see WALSyncMode).
+// Update applies fn to a private clone of the published snapshot,
+// encodes the result with no lock held, then publishes clone and
+// staged record atomically under the shard's write lock. Conflicts are
+// detected optimistically: published snapshots are immutable, so if
+// the shard still maps id to the same pointer read before encoding,
+// nothing intervened and the publish is ordered correctly; otherwise
+// the whole read-mutate-encode round retries against the fresh
+// snapshot (so fn may run more than once — see Store.Update's
+// contract). Contention on one ID is engine-rare (a transition race
+// with Cancel), so retries are too.
+//
+// A pure lifecycle transition logs a compact delta record; anything
+// that touched immutable-by-convention fields — or a delta chain at
+// its bound — logs a full snapshot. Under WALSyncAlways the caller
+// waits for the fsync; group mode logs transitions asynchronously (see
+// WALSyncMode).
 func (s *WALStore) Update(id string, fn func(op *core.Operation)) error {
-	sh := s.inner.shard(id)
-	sh.mu.Lock()
-	old, ok := sh.ops[id]
-	if !ok {
-		sh.mu.Unlock()
-		return core.ErrNotFound
-	}
-	c := old.Clone()
-	// Same sanctioned callback-under-lock as storeShard.update: fn
-	// mutates a private clone atomically with its publication.
-	//lint:allow opdaemon/lockscope Update's clone-mutation callback is the store's core contract
-	fn(c)
-	// Encode under the lock: the record must capture exactly the
-	// published state, in publish order. Marshalling an operation is a
-	// few hundred nanoseconds — small next to the fsync this design
-	// keeps out of the critical section.
-	rec, err := encodeOpRecord(walRecUpdate, c)
-	if err != nil {
-		log.Printf("engine: wal: %v; update is not durable", err)
-	}
-	sh.ops[id] = c
-	if c.ID == old.ID && c.CreatedAt.Equal(old.CreatedAt) {
-		sh.ix.replace(c)
-	} else {
-		// fn moved the index key (nothing in the engine does): reindex,
-		// and log the old ID's disappearance so replay tracks it.
-		delete(sh.ops, old.ID)
-		sh.ops[c.ID] = c
-		sh.ix.remove(old.CreatedAt, old.ID)
-		sh.ix.insert(c)
-		if c.ID != old.ID {
-			rec = append(encodeDeleteRecord(old.ID), rec...)
+	i := s.inner.shardIndex(id)
+	sh := s.inner.shards[i]
+	deltas := s.deltaN[i]
+	for {
+		sh.mu.RLock()
+		old, ok := sh.ops[id]
+		var chain uint8
+		if ok {
+			chain = deltas[id]
 		}
+		sh.mu.RUnlock()
+		if !ok {
+			return core.ErrNotFound
+		}
+
+		c := old.Clone()
+		fn(c)
+		sameKey := c.ID == old.ID && c.CreatedAt.Equal(old.CreatedAt)
+		asDelta := sameKey && chain+1 < walDeltaChainMax && core.DeltaEligible(old, c)
+
+		buf := getEncBuf()
+		rec := *buf
+		if asDelta {
+			rec = encodeDeltaRecordV2(rec, c)
+		} else {
+			if c.ID != old.ID {
+				// fn moved the ID (nothing in the engine does): log the
+				// old ID's disappearance so replay tracks it.
+				rec = appendDeleteRecord(rec, old.ID)
+			}
+			var err error
+			rec, err = encodeOpRecordV2(rec, c)
+			if err != nil {
+				log.Printf("engine: %v; update is not durable", err)
+			}
+		}
+
+		sh.mu.Lock()
+		if sh.ops[id] != old {
+			// A conflicting publish (another update, a delete, a re-put)
+			// landed between snapshot and lock: the clone and record
+			// describe a stale base. Drop both and retry.
+			sh.mu.Unlock()
+			*buf = rec
+			putEncBuf(buf)
+			continue
+		}
+		if sameKey {
+			sh.ops[id] = c
+			sh.ix.replace(c)
+		} else {
+			delete(sh.ops, old.ID)
+			sh.ops[c.ID] = c
+			sh.ix.remove(old.CreatedAt, old.ID)
+			sh.ix.insert(c)
+		}
+		if asDelta {
+			deltas[id] = chain + 1
+		} else {
+			delete(deltas, id)
+		}
+		g := s.wal.enqueue(rec, 1)
+		sh.mu.Unlock()
+		*buf = rec
+		putEncBuf(buf)
+		s.wal.transitionWait(g)
+		return nil
 	}
-	g := s.wal.enqueue(rec, 1)
-	sh.mu.Unlock()
-	s.wal.transitionWait(g)
-	return nil
 }
 
-// Delete removes the operation and stages its tombstone.
+// Delete removes the operation and stages its tombstone. The
+// tombstone is encoded up front — wasted work when the operation turns
+// out not to exist, but deletes of absent IDs are not a path worth a
+// codec call inside the lock.
 func (s *WALStore) Delete(id string) {
-	sh := s.inner.shard(id)
+	buf := getEncBuf()
+	rec := appendDeleteRecord(*buf, id)
+	i := s.inner.shardIndex(id)
+	sh := s.inner.shards[i]
 	sh.mu.Lock()
 	old, ok := sh.ops[id]
 	if !ok {
 		// Nothing stored means nothing to tombstone: replay of the
 		// existing log already yields absence.
 		sh.mu.Unlock()
+		*buf = rec
+		putEncBuf(buf)
 		return
 	}
 	delete(sh.ops, id)
+	delete(s.deltaN[i], id)
 	sh.ix.remove(old.CreatedAt, old.ID)
-	g := s.wal.enqueue(encodeDeleteRecord(id), 1)
+	g := s.wal.enqueue(rec, 1)
 	sh.mu.Unlock()
+	*buf = rec
+	putEncBuf(buf)
 	s.wal.transitionWait(g)
 }
 
 // SweepTerminalBefore evicts expired terminal operations shard by
-// shard, staging one tombstone per eviction inside the shard's own
-// critical section. A mass eviction additionally requests a compaction
-// so the reclaimed history stops costing replay time.
+// shard. Each shard takes two passes so no tombstone is encoded under
+// the lock: a read-locked pass collects eviction candidates, the
+// tombstones are encoded lock-free, and a write-locked pass re-checks
+// each candidate by pointer identity (a re-Put between the passes
+// publishes a different snapshot and is left alone), evicts the
+// confirmed ones, and stages their pre-encoded frames. A mass eviction
+// additionally requests a compaction so the reclaimed history stops
+// costing replay time.
 func (s *WALStore) SweepTerminalBefore(cutoff time.Time) int {
 	evicted := 0
 	var last *walGen
-	for _, sh := range s.inner.shards {
-		sh.mu.Lock()
-		kept := sh.ix.ops[:0]
-		var frames []byte
-		recs := 0
+	buf := getEncBuf()
+	var cands []*core.Operation
+	var offs []int
+	for i, sh := range s.inner.shards {
+		cands = cands[:0]
+		sh.mu.RLock()
 		for _, op := range sh.ix.ops {
 			if op.Status.Terminal() && op.UpdatedAt.Before(cutoff) {
-				delete(sh.ops, op.ID)
-				frames = appendWALFrame(frames, walRecDelete, []byte(op.ID))
-				recs++
-				continue
+				cands = append(cands, op)
 			}
-			kept = append(kept, op)
 		}
-		for i := len(kept); i < len(sh.ix.ops); i++ {
-			sh.ix.ops[i] = nil // unpin evicted snapshots
+		sh.mu.RUnlock()
+		if len(cands) == 0 {
+			continue
 		}
-		sh.ix.ops = kept
+
+		// Encode every candidate's tombstone contiguously, remembering
+		// frame boundaries so the confirm pass can stage per-candidate
+		// slices.
+		rec := (*buf)[:0]
+		offs = offs[:0]
+		for _, op := range cands {
+			offs = append(offs, len(rec))
+			rec = appendDeleteRecord(rec, op.ID)
+		}
+		offs = append(offs, len(rec))
+		*buf = rec
+
+		sh.mu.Lock()
+		var frames []byte
+		recs := 0
+		confirmed := make(map[string]bool, len(cands))
+		for ci, op := range cands {
+			if sh.ops[op.ID] != op {
+				continue // republished since the scan; not ours to evict
+			}
+			delete(sh.ops, op.ID)
+			delete(s.deltaN[i], op.ID)
+			confirmed[op.ID] = true
+			frames = append(frames, rec[offs[ci]:offs[ci+1]]...)
+			recs++
+		}
 		if recs > 0 {
+			kept := sh.ix.ops[:0]
+			for _, op := range sh.ix.ops {
+				if !confirmed[op.ID] {
+					kept = append(kept, op)
+				}
+			}
+			for j := len(kept); j < len(sh.ix.ops); j++ {
+				sh.ix.ops[j] = nil // unpin evicted snapshots
+			}
+			sh.ix.ops = kept
 			if g := s.wal.enqueue(frames, recs); g != nil {
 				last = g
 			}
@@ -333,6 +469,7 @@ func (s *WALStore) SweepTerminalBefore(cutoff time.Time) int {
 		sh.mu.Unlock()
 		evicted += recs
 	}
+	putEncBuf(buf)
 	if evicted >= sweepCompactThreshold {
 		s.wal.requestCompact()
 	}
